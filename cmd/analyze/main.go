@@ -1,0 +1,95 @@
+// Command analyze renders campaign CSVs (from cmd/experiments -csv) as
+// the grouped-bar views behind the paper's Figures 4-7 — the equivalent
+// of running the artifact's Jupyter notebooks.
+//
+// Examples:
+//
+//	analyze -csv results/campaign.csv
+//	analyze -csv results/campaign.csv -figure Figure7 -metric mean_cpu_cores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wfserverless/internal/analysis"
+	"wfserverless/internal/wfm"
+)
+
+func main() {
+	var (
+		csvPath   = flag.String("csv", "results/campaign.csv", "campaign CSV from cmd/experiments")
+		figure    = flag.String("figure", "", "figure to render (default: all present)")
+		metric    = flag.String("metric", "", "metric to render (default: all of "+fmt.Sprint(analysis.Metrics)+")")
+		ganttPath = flag.String("gantt", "", "render an execution trace (from wfm -trace) as a Gantt chart instead")
+	)
+	flag.Parse()
+
+	if *ganttPath != "" {
+		f, err := os.Open(*ganttPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := wfm.ParseTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.RenderGantt(os.Stdout, tr, 60); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := analysis.ParseCSV(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no records in %s", *csvPath))
+	}
+
+	figures := analysis.Figures(recs)
+	if *figure != "" {
+		figures = []string{*figure}
+	}
+	metrics := analysis.Metrics
+	if *metric != "" {
+		metrics = []string{*metric}
+	}
+
+	for _, fig := range figures {
+		for _, m := range metrics {
+			if err := analysis.RenderFigure(os.Stdout, recs, fig, m); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		agg, err := analysis.Aggregate(analysis.Filter(recs, fig), "mean_cpu_cores")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s per-paradigm mean CPU cores:\n", fig)
+		names := make([]string, 0, len(agg))
+		for p := range agg {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		for _, p := range names {
+			fmt.Printf("  %-14s %8.2f\n", p, agg[p])
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command characterize prints the paper's Figure 3 workflow
+// characterization — DAG structure, functions per phase, and functions
+// per type — for the seven recipes, plus an ASCII rendering of each
+// workflow's phase profile.
+//
+// Example:
+//
+//	characterize -tasks 250
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wfserverless/internal/experiments"
+	"wfserverless/internal/recipes"
+)
+
+// writeDOTs renders each recipe's DAG at the given size as Graphviz.
+func writeDOTs(dir string, tasks int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range recipes.All() {
+		n := tasks
+		if n < r.MinTasks() {
+			n = r.MinTasks()
+		}
+		w, err := r.Generate(n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, r.Name()+".dot")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := w.ToDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		tasks  = flag.Int("tasks", 100, "workflow size to characterize")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		bars   = flag.Bool("bars", true, "render phase-density bars")
+		dotDir = flag.String("dot", "", "also write Graphviz .dot files (Figure 3 DAG panels) to this directory")
+	)
+	flag.Parse()
+
+	chars, err := experiments.Figure3(*tasks, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	if *dotDir != "" {
+		if err := writeDOTs(*dotDir, *tasks, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+	}
+	if err := experiments.WriteCharacterization(os.Stdout, chars); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	if !*bars {
+		return
+	}
+	fmt.Println()
+	for _, c := range chars {
+		fmt.Printf("%s (group %d) — functions per phase:\n", c.Display, c.Group)
+		max := 1
+		for _, w := range c.PhaseWidths {
+			if w > max {
+				max = w
+			}
+		}
+		for i, w := range c.PhaseWidths {
+			barLen := w * 50 / max
+			if barLen == 0 && w > 0 {
+				barLen = 1
+			}
+			fmt.Printf("  phase %-3d |%-50s| %d\n", i, strings.Repeat("#", barLen), w)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,177 @@
+// Command experiments runs the paper's evaluation campaigns and prints
+// the rows behind Tables I-II and Figures 3-7, optionally writing CSVs —
+// the equivalent of run_all_wfbench.sh + the analysis notebooks.
+//
+// Examples:
+//
+//	experiments -suite all
+//	experiments -suite fig7 -small 50 -large 250 -time-scale 0.01 -csv fig7.csv
+//	experiments -suite design
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"wfserverless/internal/experiments"
+	"wfserverless/internal/recipes"
+	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfgen"
+)
+
+func main() {
+	var (
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | all")
+		small     = flag.Int("small", 30, "small workflow size")
+		large     = flag.Int("large", 120, "large workflow size")
+		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		timeScale = flag.Float64("time-scale", 0.02, "nominal-to-wall compression")
+		csvPath   = flag.String("csv", "", "also append suite CSVs to this file")
+	)
+	flag.Parse()
+
+	tn := experiments.DefaultTunables()
+	tn.TimeScale = *timeScale
+	sz := experiments.Sizes{Small: *small, Large: *large, Huge: *huge}
+	ctx := context.Background()
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	runSuite := func(name string, f func(context.Context, experiments.Sizes, int64, experiments.Tunables) (*experiments.Suite, error)) {
+		s, err := f(ctx, sz, *seed, tn)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteTable(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+		if csv != nil {
+			if err := experiments.WriteCSV(csv, s); err != nil {
+				fatal(err)
+			}
+		}
+		if name == "fig7" {
+			reds := experiments.Reductions(s)
+			fmt.Println("\nServerless vs local containers (Kn10wNoPM vs LC10wNoPM):")
+			fmt.Printf("%-12s %6s %6s %10s %10s %8s %8s\n",
+				"workflow", "tasks", "group", "time_ratio", "pwr_ratio", "cpu_red%", "mem_red%")
+			for _, r := range reds {
+				fmt.Printf("%-12s %6d %6d %10.2f %10.2f %8.2f %8.2f\n",
+					r.Recipe, r.Size, r.Group, r.TimeRatio, r.PowerRatio, r.CPUPct, r.MemPct)
+			}
+			cpu, mem := experiments.MaxReductions(reds)
+			fmt.Printf("\nHeadline: serverless reduces CPU usage by up to %.2f%% and memory usage by up to %.2f%%\n", cpu, mem)
+			fmt.Println("(paper: 78.11% and 73.92%)")
+		}
+		fmt.Println()
+	}
+
+	switch *suite {
+	case "concurrent":
+		runConcurrent(ctx, sz, *seed, tn)
+	case "design":
+		printDesign()
+	case "table2":
+		printTable2()
+	case "fig3":
+		printFig3(*large, *seed)
+	case "fig4":
+		runSuite("fig4", experiments.Figure4)
+	case "fig5":
+		runSuite("fig5", experiments.Figure5)
+	case "fig6":
+		runSuite("fig6", experiments.Figure6)
+	case "fig7":
+		runSuite("fig7", experiments.Figure7)
+	case "all":
+		printDesign()
+		printTable2()
+		printFig3(*large, *seed)
+		runSuite("fig4", experiments.Figure4)
+		runSuite("fig5", experiments.Figure5)
+		runSuite("fig6", experiments.Figure6)
+		runSuite("fig7", experiments.Figure7)
+	default:
+		fatal(fmt.Errorf("unknown suite %q", *suite))
+	}
+}
+
+// runConcurrent contrasts serverless vs local containers when several
+// workflows are submitted at once (Section VII).
+func runConcurrent(ctx context.Context, sz experiments.Sizes, seed int64, tn experiments.Tunables) {
+	var wfs []*wfformat.Workflow
+	for _, recipe := range []string{"blast", "seismology", "srasearch"} {
+		w, err := wfgen.Generate(wfgen.Spec{Recipe: recipe, NumTasks: sz.Small, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		wfs = append(wfs, w)
+	}
+	fmt.Println("== Concurrent workflows (3 group-1 workflows submitted at once) ==")
+	fmt.Printf("%-12s %10s %12s %11s %9s %9s\n",
+		"paradigm", "makespan_s", "sum_solo_s", "interleave", "cpu_cores", "mem_GB")
+	for _, id := range []experiments.Paradigm{experiments.Kn10wNoPM, experiments.LC10wNoPM} {
+		spec, err := experiments.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := experiments.RunConcurrent(ctx, spec, wfs, tn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %10.1f %12.1f %11.2f %9.1f %9.2f\n",
+			m.Paradigm, m.MakespanS, m.SumSoloS, m.Interleave, m.MeanCPUCores, m.MeanMemGB)
+	}
+	fmt.Println()
+}
+
+func printDesign() {
+	d := experiments.Design(recipes.Names())
+	fine, coarse := 0, 0
+	for _, e := range d {
+		if e.Granularity == "fine" {
+			fine++
+		} else {
+			coarse++
+		}
+	}
+	fmt.Println("== Table I: experiment design ==")
+	fmt.Printf("fine-grained:   %d experiments (7 paradigms x 7 workflows x 2 sizes)\n", fine)
+	fmt.Printf("coarse-grained: %d experiments (2 paradigms x 7 workflows x 3 sizes)\n", coarse)
+	fmt.Printf("total:          %d experiments\n\n", len(d))
+}
+
+func printTable2() {
+	fmt.Println("== Table II: computational paradigms ==")
+	for _, s := range experiments.All() {
+		fmt.Printf("%-14s %s\n", s.ID, s.Description)
+	}
+	fmt.Println()
+}
+
+func printFig3(size int, seed int64) {
+	chars, err := experiments.Figure3(size, seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteCharacterization(os.Stdout, chars); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

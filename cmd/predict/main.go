@@ -1,0 +1,71 @@
+// Command predict applies the analytical performance model: given a
+// workflow description and a Table II paradigm it predicts makespan,
+// cold starts, and mean resource usage without executing anything, and
+// can validate the prediction against an actual in-process run.
+//
+// Examples:
+//
+//	wfgen -recipe blast -tasks 250 -o blast.json
+//	predict -workflow blast.json -paradigm Kn10wNoPM
+//	predict -workflow blast.json -paradigm Kn10wNoPM -validate
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"wfserverless/internal/experiments"
+	"wfserverless/internal/model"
+	"wfserverless/internal/wfformat"
+)
+
+func main() {
+	var (
+		workflow = flag.String("workflow", "", "workflow description JSON (required)")
+		paradigm = flag.String("paradigm", "Kn10wNoPM", "Table II paradigm")
+		validate = flag.Bool("validate", false, "also execute and compare")
+		scale    = flag.Float64("time-scale", 0.02, "time scale for -validate")
+	)
+	flag.Parse()
+	if *workflow == "" {
+		fatal(fmt.Errorf("-workflow is required"))
+	}
+	w, err := wfformat.Load(*workflow)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := experiments.ByID(experiments.Paradigm(*paradigm))
+	if err != nil {
+		fatal(err)
+	}
+	tn := experiments.DefaultTunables()
+	pred, err := model.Predict(spec, w, tn)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workflow:   %s (%d tasks)\n", w.Name, w.Len())
+	fmt.Printf("paradigm:   %s\n", spec.ID)
+	fmt.Printf("predicted:  makespan %.2f s, %d cold starts, %.2f cores, %.2f GB\n",
+		pred.MakespanS, pred.ColdStarts, pred.MeanCPUCores, pred.MeanMemGB)
+	if !*validate {
+		return
+	}
+	tn.TimeScale = *scale
+	meas, err := experiments.RunWorkflow(context.Background(), spec, w, tn)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("measured:   makespan %.2f s, %d cold starts, %.2f cores, %.2f GB\n",
+		meas.MakespanS, meas.ColdStarts, meas.MeanCPUCores, meas.MeanMemGB)
+	fmt.Printf("ratios:     time x%.2f, cpu x%.2f, mem x%.2f\n",
+		pred.MakespanS/meas.MakespanS,
+		pred.MeanCPUCores/meas.MeanCPUCores,
+		pred.MeanMemGB/meas.MeanMemGB)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command wfbench-serve runs WfBench as a Service standalone: an HTTP
+// server answering POST /wfbench with real CPU/memory/IO stress against
+// a disk-backed shared directory — the paper's containerized WfBench
+// deployment, minus the container. Pair it with cmd/wfm pointing
+// workflows at this address.
+//
+// Example:
+//
+//	wfbench-serve -addr :8080 -workers 10 -workdir /mnt/data/shared -burn
+//	curl localhost:8080/wfbench -X POST -H 'Content-Type: application/json' \
+//	  -d '{"name":"split_fasta_00000001","percent-cpu":0.6,"cpu-work":100,
+//	       "out":{"split_fasta_00000001_output.txt":204082},"inputs":[]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfbench"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 10, "worker pool size (gunicorn --workers)")
+		workdir   = flag.String("workdir", "wfbench-data", "shared directory for I/O")
+		keepMem   = flag.Bool("keep-mem", false, "persistent memory between invocations (--vm-keep)")
+		burn      = flag.Bool("burn", true, "really burn CPU at the duty cycle (false: sleep)")
+		timeScale = flag.Float64("time-scale", 1.0, "nominal-second to wall-second factor")
+		inputWait = flag.Duration("input-wait", 10*time.Second, "max wait for input files")
+	)
+	flag.Parse()
+
+	drive, err := sharedfs.NewDisk(*workdir)
+	if err != nil {
+		fatal(err)
+	}
+	var engine wfbench.Engine = wfbench.SimEngine{}
+	if *burn {
+		engine = wfbench.BurnEngine{}
+	}
+	bench, err := wfbench.New(wfbench.Config{
+		Drive:     drive,
+		Engine:    engine,
+		TimeScale: *timeScale,
+		InputWait: *inputWait,
+		KeepMem:   *keepMem,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := wfbench.NewService(bench, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("wfbench-serve: listening on %s, %d workers, workdir %s, keep-mem=%v burn=%v",
+		*addr, *workers, drive.Root(), *keepMem, *burn)
+	if err := http.ListenAndServe(*addr, svc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfbench-serve:", err)
+	os.Exit(1)
+}

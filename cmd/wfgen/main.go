@@ -1,0 +1,123 @@
+// Command wfgen generates HPC scientific workflow instances from the
+// seven WfCommons-derived recipes and translates them for a target
+// platform — the equivalent of the paper's generate_workflows.py plus
+// the Translator component.
+//
+// Examples:
+//
+//	wfgen -recipe blast -tasks 250 -target knative -url http://127.0.0.1:8080 -o blast.json
+//	wfgen -recipe cycles -tasks 100 -target nextflow -o cycles.nf
+//	wfgen -suite -sizes 50,250 -dir ./workflows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"wfserverless/internal/recipes"
+	"wfserverless/internal/translator"
+	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfgen"
+)
+
+func main() {
+	var (
+		recipe  = flag.String("recipe", "blast", "recipe name: "+strings.Join(recipes.Names(), ", "))
+		tasks   = flag.Int("tasks", 100, "requested number of tasks")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		cpuWork = flag.Float64("cpu-work", 100, "mean cpu-work knob per function")
+		target  = flag.String("target", "json", "output target: json, knative, local, pegasus, nextflow")
+		url     = flag.String("url", "http://localhost:8080", "ingress/container base URL for knative/local targets")
+		workdir = flag.String("workdir", "shared", "shared-drive workdir recorded in arguments")
+		out     = flag.String("o", "", "output file (default stdout)")
+		suite   = flag.Bool("suite", false, "generate the full 7-recipe benchmark suite instead")
+		sizes   = flag.String("sizes", "50,250", "comma-separated sizes for -suite")
+		dir     = flag.String("dir", "workflows", "output directory for -suite")
+	)
+	flag.Parse()
+
+	if *suite {
+		if err := generateSuite(*sizes, *seed, *cpuWork, *dir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	w, err := wfgen.Generate(wfgen.Spec{Recipe: *recipe, NumTasks: *tasks, Seed: *seed, CPUWork: *cpuWork})
+	if err != nil {
+		fatal(err)
+	}
+	var payload []byte
+	switch *target {
+	case "json":
+		payload, err = w.Marshal()
+	case "knative":
+		var tw *wfformat.Workflow
+		tw, err = translator.Knative(w, translator.KnativeOptions{IngressURL: *url, Workdir: *workdir})
+		if err == nil {
+			payload, err = tw.Marshal()
+		}
+	case "local":
+		var tw *wfformat.Workflow
+		tw, err = translator.LocalContainer(w, translator.LocalContainerOptions{BaseURL: *url, Workdir: *workdir})
+		if err == nil {
+			payload, err = tw.Marshal()
+		}
+	case "pegasus":
+		var s string
+		s, err = translator.Pegasus(w)
+		payload = []byte(s)
+	case "nextflow":
+		var s string
+		s, err = translator.Nextflow(w)
+		payload = []byte(s)
+	default:
+		err = fmt.Errorf("unknown target %q", *target)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(payload)
+		return
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d tasks)\n", *out, w.Len())
+}
+
+func generateSuite(sizesCSV string, seed int64, cpuWork float64, dir string) error {
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", s, err)
+		}
+		sizes = append(sizes, n)
+	}
+	insts, err := wfgen.GenerateSuite(wfgen.SuiteSpec{Sizes: sizes, Seed: seed, CPUWork: cpuWork})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, inst := range insts {
+		path := filepath.Join(dir, inst.Spec.InstanceName()+".json")
+		if err := inst.Workflow.Save(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d tasks)\n", path, inst.Workflow.Len())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfgen:", err)
+	os.Exit(1)
+}

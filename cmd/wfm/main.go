@@ -1,0 +1,148 @@
+// Command wfm executes a workflow description through the serverless
+// workflow manager — the paper's serverless-workflow-wfbench.py.
+//
+// Two modes:
+//
+//   - Direct (default): the workflow JSON already carries api_url
+//     endpoints (e.g. from wfgen -target knative -url ...); the manager
+//     POSTs to them and uses -workdir as the shared drive. Pair with
+//     cmd/wfbench-serve.
+//
+//     wfm -workflow blast.json -workdir ./wfbench-data
+//
+//   - Simulated (-paradigm): provision the in-process platform for a
+//     Table II paradigm, translate, execute, and print the measured
+//     execution time, power, CPU, and memory.
+//
+//     wfm -workflow blast.json -paradigm Kn10wNoPM -time-scale 0.01
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wfserverless/internal/experiments"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfm"
+)
+
+func main() {
+	var (
+		workflow  = flag.String("workflow", "", "workflow description JSON (required)")
+		workdir   = flag.String("workdir", "wfbench-data", "shared directory (direct mode)")
+		paradigm  = flag.String("paradigm", "", "Table II paradigm for simulated mode (e.g. Kn10wNoPM)")
+		timeScale = flag.Float64("time-scale", 1.0, "nominal-second to wall-second factor")
+		phaseWait = flag.Float64("phase-delay", 1.0, "inter-phase delay, nominal seconds")
+		maxPar    = flag.Int("max-parallel", 512, "max simultaneous HTTP invocations")
+		verbose   = flag.Bool("v", false, "print per-phase breakdown")
+		tracePath = flag.String("trace", "", "write the execution trace (JSON) to this file")
+		eager     = flag.Bool("eager", false, "dependency-driven scheduling instead of phase barriers")
+		retries   = flag.Int("retries", 0, "retry transient invocation failures this many times")
+	)
+	flag.Parse()
+	if *workflow == "" {
+		fatal(fmt.Errorf("-workflow is required"))
+	}
+	w, err := wfformat.Load(*workflow)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *paradigm != "" {
+		runSimulated(w, *paradigm, *timeScale, *verbose)
+		return
+	}
+
+	drive, err := sharedfs.NewDisk(*workdir)
+	if err != nil {
+		fatal(err)
+	}
+	mgr, err := wfm.New(wfm.Options{
+		Drive:       drive,
+		TimeScale:   *timeScale,
+		PhaseDelay:  *phaseWait,
+		MaxParallel: *maxPar,
+		Retries:     *retries,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	run := mgr.Run
+	if *eager {
+		run = mgr.RunEager
+	}
+	res, err := run(context.Background(), w)
+	if err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wfm.TraceOf(res).WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:     %s\n", *tracePath)
+	}
+	printResult(res, *verbose)
+}
+
+func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, verbose bool) {
+	spec, err := experiments.ByID(experiments.Paradigm(paradigm))
+	if err != nil {
+		fatal(err)
+	}
+	tn := experiments.DefaultTunables()
+	tn.TimeScale = timeScale
+	m, err := experiments.RunWorkflow(context.Background(), spec, w, tn)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workflow:      %s (%d tasks)\n", m.Workflow, m.Tasks)
+	fmt.Printf("paradigm:      %s\n", m.Paradigm)
+	fmt.Printf("execution:     %.2f s (nominal; wall %v)\n", m.MakespanS, m.Wall)
+	fmt.Printf("power:         %.1f W mean, %.0f J\n", m.MeanPowerW, m.EnergyJ)
+	fmt.Printf("cpu usage:     %.2f cores mean (%.2f max, busy %.2f)\n", m.MeanCPUCores, m.MaxCPUCores, m.MeanBusyCores)
+	fmt.Printf("memory usage:  %.2f GB mean (%.2f max)\n", m.MeanMemGB, m.MaxMemGB)
+	fmt.Printf("cold starts:   %d   requests: %d   failures: %d   scale stalls: %d\n",
+		m.ColdStarts, m.Requests, m.Failures, m.ScaleStalls)
+	_ = verbose
+}
+
+func printResult(res *wfm.Result, verbose bool) {
+	fmt.Printf("workflow:  %s\n", res.Workflow)
+	fmt.Printf("functions: %d (+header/tail)\n", len(res.Tasks)-2)
+	fmt.Printf("phases:    %d\n", len(res.Phases)-2)
+	fmt.Printf("makespan:  %.2f s (wall %v)\n", res.Makespan, res.Wall)
+	if len(res.Failed) > 0 {
+		fmt.Printf("FAILED:    %v\n", res.Failed)
+	}
+	if verbose {
+		for _, ps := range wfm.PhaseBreakdown(res) {
+			fmt.Printf("  phase %-3d functions=%-4d span=%v\n", ps.Phase, ps.Functions, ps.WallSpan)
+		}
+		names := make([]string, 0, len(res.Tasks))
+		for n := range res.Tasks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			tr := res.Tasks[n]
+			fmt.Printf("  %-40s phase=%-3d %8v -> %8v\n", tr.Name, tr.Phase, tr.Start, tr.End)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Genomics: the paper's group-1 story. Dense bioinformatics workflows
+// (Blast, BWA) concentrate hundreds of identical functions in one phase;
+// executed on serverless they run somewhat slower (cold starts and
+// autoscaling ramp-up) but release their resources the moment the burst
+// ends, cutting time-averaged CPU and memory dramatically versus the
+// always-on local-container baseline.
+//
+//	go run ./examples/genomics
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"wfserverless/internal/experiments"
+	"wfserverless/internal/wfgen"
+)
+
+func main() {
+	tn := experiments.DefaultTunables()
+	fmt.Println("Group-1 genomics workflows: serverless (Kn10wNoPM) vs local containers (LC10wNoPM)")
+	fmt.Printf("%-8s %6s | %12s %12s | %9s %9s | %9s %9s\n",
+		"workflow", "tasks", "kn_time_s", "lc_time_s", "kn_cpu", "lc_cpu", "kn_memGB", "lc_memGB")
+
+	for _, recipe := range []string{"blast", "bwa"} {
+		for _, size := range []int{60, 200} {
+			w, err := wfgen.Generate(wfgen.Spec{Recipe: recipe, NumTasks: size, Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			knSpec, _ := experiments.ByID(experiments.Kn10wNoPM)
+			lcSpec, _ := experiments.ByID(experiments.LC10wNoPM)
+			kn, err := experiments.RunWorkflow(context.Background(), knSpec, w, tn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lc, err := experiments.RunWorkflow(context.Background(), lcSpec, w, tn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %6d | %12.1f %12.1f | %9.1f %9.1f | %9.2f %9.2f\n",
+				recipe, w.Len(), kn.MakespanS, lc.MakespanS,
+				kn.MeanCPUCores, lc.MeanCPUCores, kn.MeanMemGB, lc.MeanMemGB)
+			fmt.Printf("%-8s        -> serverless %.2fx slower, CPU -%.0f%%, memory -%.0f%%, %d cold starts\n",
+				"", kn.MakespanS/lc.MakespanS,
+				100*(1-kn.MeanCPUCores/lc.MeanCPUCores),
+				100*(1-kn.MeanMemGB/lc.MeanMemGB), kn.ColdStarts)
+		}
+	}
+	fmt.Println("\nDense single-burst workflows trade a modest slowdown for most of the")
+	fmt.Println("baseline's provisioned CPU and resident memory — the paper's headline result.")
+}

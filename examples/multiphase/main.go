@@ -1,0 +1,57 @@
+// Multiphase: the paper's group-2 story. Cycles and Epigenomics spread
+// their functions over many phases with diverse function types. Phases
+// arrive steadily, so serverless pods stay warm between phases — few
+// cold starts after the first phase — and the execution-time gap versus
+// local containers narrows, while the resource savings remain.
+//
+//	go run ./examples/multiphase
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"wfserverless/internal/experiments"
+	"wfserverless/internal/wfgen"
+)
+
+func main() {
+	tn := experiments.DefaultTunables()
+
+	fmt.Println("Group comparison at 120 tasks: serverless slowdown vs local containers")
+	fmt.Printf("%-12s %6s %7s | %10s %11s %11s\n",
+		"workflow", "group", "phases", "time_ratio", "cold_starts", "cpu_red%")
+
+	for _, recipe := range []string{"blast", "seismology", "cycles", "epigenomics"} {
+		w, err := wfgen.Generate(wfgen.Spec{Recipe: recipe, NumTasks: 120, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		phases, err := w.Phases()
+		if err != nil {
+			log.Fatal(err)
+		}
+		knSpec, _ := experiments.ByID(experiments.Kn10wNoPM)
+		lcSpec, _ := experiments.ByID(experiments.LC10wNoPM)
+		kn, err := experiments.RunWorkflow(context.Background(), knSpec, w, tn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lc, err := experiments.RunWorkflow(context.Background(), lcSpec, w, tn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		group := 1
+		if recipe == "cycles" || recipe == "epigenomics" {
+			group = 2
+		}
+		fmt.Printf("%-12s %6d %7d | %10.2f %11d %11.1f\n",
+			recipe, group, len(phases), kn.MakespanS/lc.MakespanS, kn.ColdStarts,
+			100*(1-kn.MeanCPUCores/lc.MeanCPUCores))
+	}
+
+	fmt.Println("\nGroup-2 workflows (cycles, epigenomics) show the narrower gap: after the")
+	fmt.Println("first phase their pods stay warm across the steady phase cadence, so the")
+	fmt.Println("cold-start tax is paid once instead of at every burst.")
+}

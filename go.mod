@@ -1,0 +1,3 @@
+module wfserverless
+
+go 1.22

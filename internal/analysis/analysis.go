@@ -1,0 +1,234 @@
+// Package analysis is the counterpart of the paper's Jupyter notebooks
+// (analysis_wfbench.ipynb): it loads the CSV the experiment campaigns
+// emit, groups measurements by figure, workflow, size, and paradigm, and
+// renders the grouped-bar views of Figures 4-7 as aligned ASCII charts —
+// execution time, power, CPU, and memory per panel.
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one measurement row of the campaign CSV (see
+// experiments.WriteCSV for the producer).
+type Record struct {
+	Figure        string
+	Paradigm      string
+	Workflow      string
+	Recipe        string
+	Tasks         int
+	Group         int
+	MakespanS     float64
+	MeanPowerW    float64
+	EnergyJ       float64
+	MeanCPUCores  float64
+	MaxCPUCores   float64
+	MeanBusyCores float64
+	MeanMemGB     float64
+	MaxMemGB      float64
+	ColdStarts    int64
+	Requests      int64
+	Failures      int64
+	ScaleStalls   int64
+}
+
+// expected CSV header, kept in sync with experiments.WriteCSV.
+var header = []string{
+	"figure", "paradigm", "workflow", "recipe", "tasks", "group",
+	"makespan_s", "mean_power_w", "energy_j", "mean_cpu_cores",
+	"max_cpu_cores", "mean_busy_cores", "mean_mem_gb", "max_mem_gb",
+	"cold_starts", "requests", "failures", "scale_stalls",
+}
+
+// ParseCSV reads campaign records. Multiple concatenated suites (each
+// with its own header line) are accepted, matching cmd/experiments
+// appending every suite to one file.
+func ParseCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []Record
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: line %d: %w", line+1, err)
+		}
+		line++
+		if len(row) == 0 || row[0] == "figure" {
+			continue // header (possibly repeated between suites)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("analysis: line %d: %d fields, want %d", line, len(row), len(header))
+		}
+		rec := Record{
+			Figure:   row[0],
+			Paradigm: row[1],
+			Workflow: row[2],
+			Recipe:   row[3],
+		}
+		ints := map[int]*int{4: &rec.Tasks, 5: &rec.Group}
+		for idx, dst := range ints {
+			v, err := strconv.Atoi(row[idx])
+			if err != nil {
+				return nil, fmt.Errorf("analysis: line %d field %s: %w", line, header[idx], err)
+			}
+			*dst = v
+		}
+		floats := map[int]*float64{
+			6: &rec.MakespanS, 7: &rec.MeanPowerW, 8: &rec.EnergyJ,
+			9: &rec.MeanCPUCores, 10: &rec.MaxCPUCores, 11: &rec.MeanBusyCores,
+			12: &rec.MeanMemGB, 13: &rec.MaxMemGB,
+		}
+		for idx, dst := range floats {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: line %d field %s: %w", line, header[idx], err)
+			}
+			*dst = v
+		}
+		int64s := map[int]*int64{
+			14: &rec.ColdStarts, 15: &rec.Requests, 16: &rec.Failures, 17: &rec.ScaleStalls,
+		}
+		for idx, dst := range int64s {
+			v, err := strconv.ParseInt(row[idx], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: line %d field %s: %w", line, header[idx], err)
+			}
+			*dst = v
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Figures returns the distinct figure labels present, sorted.
+func Figures(recs []Record) []string {
+	set := map[string]struct{}{}
+	for _, r := range recs {
+		set[r.Figure] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filter returns records of one figure.
+func Filter(recs []Record, figure string) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Figure == figure {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Metric names renderable by RenderFigure.
+var Metrics = []string{"makespan_s", "mean_power_w", "mean_cpu_cores", "mean_mem_gb", "energy_j"}
+
+// metricOf extracts a named metric from a record.
+func metricOf(r Record, metric string) (float64, error) {
+	switch metric {
+	case "makespan_s":
+		return r.MakespanS, nil
+	case "mean_power_w":
+		return r.MeanPowerW, nil
+	case "mean_cpu_cores":
+		return r.MeanCPUCores, nil
+	case "mean_mem_gb":
+		return r.MeanMemGB, nil
+	case "energy_j":
+		return r.EnergyJ, nil
+	default:
+		return 0, fmt.Errorf("analysis: unknown metric %q (have %v)", metric, Metrics)
+	}
+}
+
+// RenderFigure draws one figure panel as grouped ASCII bars: rows are
+// (recipe, size) cells; within a cell one bar per paradigm, scaled to
+// the panel-wide maximum.
+func RenderFigure(w io.Writer, recs []Record, figure, metric string) error {
+	recs = Filter(recs, figure)
+	if len(recs) == 0 {
+		return fmt.Errorf("analysis: no records for figure %q", figure)
+	}
+	maxVal := 0.0
+	for _, r := range recs {
+		v, err := metricOf(r, metric)
+		if err != nil {
+			return err
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	type cellKey struct {
+		recipe string
+		tasks  int
+	}
+	cells := map[cellKey][]Record{}
+	var order []cellKey
+	for _, r := range recs {
+		k := cellKey{r.Recipe, r.Tasks}
+		if _, ok := cells[k]; !ok {
+			order = append(order, k)
+		}
+		cells[k] = append(cells[k], r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].recipe != order[j].recipe {
+			return order[i].recipe < order[j].recipe
+		}
+		return order[i].tasks < order[j].tasks
+	})
+	const width = 44
+	fmt.Fprintf(w, "%s — %s (bar = %s, full scale %.2f)\n", figure, metric, metric, maxVal)
+	for _, k := range order {
+		fmt.Fprintf(w, "%s (%d tasks)\n", k.recipe, k.tasks)
+		group := cells[k]
+		sort.Slice(group, func(i, j int) bool { return group[i].Paradigm < group[j].Paradigm })
+		for _, r := range group {
+			v, _ := metricOf(r, metric)
+			n := int(v / maxVal * width)
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %-14s |%-*s| %10.2f\n", r.Paradigm, width, strings.Repeat("#", n), v)
+		}
+	}
+	return nil
+}
+
+// Aggregate groups records by paradigm and averages a metric — the
+// per-paradigm roll-up used in the conclusions.
+func Aggregate(recs []Record, metric string) (map[string]float64, error) {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range recs {
+		v, err := metricOf(r, metric)
+		if err != nil {
+			return nil, err
+		}
+		sums[r.Paradigm] += v
+		counts[r.Paradigm]++
+	}
+	out := make(map[string]float64, len(sums))
+	for p, s := range sums {
+		out[p] = s / float64(counts[p])
+	}
+	return out, nil
+}

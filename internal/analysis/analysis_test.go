@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"wfserverless/internal/experiments"
+)
+
+// campaignCSV runs a tiny real suite and renders it to CSV, so the
+// parser is tested against the actual producer.
+func campaignCSV(t *testing.T) string {
+	t.Helper()
+	tn := experiments.DefaultTunables()
+	tn.TimeScale = 0.002
+	suite, err := experiments.Figure7(context.Background(),
+		experiments.Sizes{Small: 20, Large: 30, Huge: 40}, 1, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := experiments.WriteCSV(&b, suite); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestParseCSVRoundTrip(t *testing.T) {
+	csv := campaignCSV(t)
+	recs, err := ParseCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 recipes x 2 sizes x 2 paradigms
+	if len(recs) != 28 {
+		t.Fatalf("records = %d, want 28", len(recs))
+	}
+	for _, r := range recs {
+		if r.Figure != "Figure7" {
+			t.Fatalf("figure = %q", r.Figure)
+		}
+		if r.MakespanS <= 0 || r.MeanPowerW <= 0 {
+			t.Fatalf("degenerate record: %+v", r)
+		}
+		if r.Paradigm != "Kn10wNoPM" && r.Paradigm != "LC10wNoPM" {
+			t.Fatalf("paradigm = %q", r.Paradigm)
+		}
+	}
+}
+
+func TestParseCSVConcatenatedSuites(t *testing.T) {
+	csv := campaignCSV(t)
+	recs, err := ParseCSV(strings.NewReader(csv + csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 56 {
+		t.Fatalf("records = %d, want 56 (repeated header skipped)", len(recs))
+	}
+}
+
+func TestParseCSVBadField(t *testing.T) {
+	bad := "figure,paradigm,workflow,recipe,tasks,group,makespan_s,mean_power_w,energy_j,mean_cpu_cores,max_cpu_cores,mean_busy_cores,mean_mem_gb,max_mem_gb,cold_starts,requests,failures,scale_stalls\n" +
+		"F,P,W,R,notanint,1,1,1,1,1,1,1,1,1,1,1,1,1\n"
+	if _, err := ParseCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	short := "F,P,W\n"
+	if _, err := ParseCSV(strings.NewReader(short)); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestFiguresAndFilter(t *testing.T) {
+	csv := campaignCSV(t)
+	recs, _ := ParseCSV(strings.NewReader(csv))
+	figs := Figures(recs)
+	if len(figs) != 1 || figs[0] != "Figure7" {
+		t.Fatalf("Figures = %v", figs)
+	}
+	if got := len(Filter(recs, "Figure7")); got != len(recs) {
+		t.Fatalf("Filter dropped records: %d", got)
+	}
+	if got := len(Filter(recs, "nope")); got != 0 {
+		t.Fatalf("Filter(nope) = %d", got)
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	csv := campaignCSV(t)
+	recs, _ := ParseCSV(strings.NewReader(csv))
+	for _, metric := range Metrics {
+		var b strings.Builder
+		if err := RenderFigure(&b, recs, "Figure7", metric); err != nil {
+			t.Fatalf("metric %s: %v", metric, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "Kn10wNoPM") || !strings.Contains(out, "#") {
+			t.Fatalf("metric %s render incomplete:\n%s", metric, out[:200])
+		}
+	}
+	var b strings.Builder
+	if err := RenderFigure(&b, recs, "Figure7", "nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if err := RenderFigure(&b, recs, "FigureX", "makespan_s"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	csv := campaignCSV(t)
+	recs, _ := ParseCSV(strings.NewReader(csv))
+	agg, err := Aggregate(recs, "mean_cpu_cores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, lc := agg["Kn10wNoPM"], agg["LC10wNoPM"]
+	if math.IsNaN(kn) || math.IsNaN(lc) {
+		t.Fatal("NaN aggregate")
+	}
+	// The headline: serverless uses far less CPU on average.
+	if kn >= lc {
+		t.Fatalf("aggregate CPU: kn=%v >= lc=%v", kn, lc)
+	}
+	if _, err := Aggregate(recs, "nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wfserverless/internal/wfm"
+)
+
+// RenderGantt draws an execution trace as an ASCII Gantt chart: one row
+// per function (grouped by phase, capped at maxRows with a summary of
+// the rest), time flowing left to right across the run's wall span.
+// This is the per-execution view the paper's artifact derives from its
+// workflow_executions results.
+func RenderGantt(w io.Writer, tr *wfm.Trace, maxRows int) error {
+	if len(tr.Events) == 0 {
+		return fmt.Errorf("analysis: empty trace")
+	}
+	if maxRows <= 0 {
+		maxRows = 40
+	}
+	span := 0.0
+	for _, ev := range tr.Events {
+		if ev.EndMS > span {
+			span = ev.EndMS
+		}
+	}
+	if span == 0 {
+		span = 1
+	}
+	const width = 60
+	fmt.Fprintf(w, "%s — %d events over %.1f ms wall (makespan %.2f s nominal)\n",
+		tr.Workflow, len(tr.Events), span, tr.Makespan)
+	fmt.Fprintf(w, "%-34s %-*s\n", "function (phase)", width, "0"+strings.Repeat(" ", width-8)+"wall end")
+
+	events := append([]wfm.TraceEvent(nil), tr.Events...)
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Phase != events[j].Phase {
+			return events[i].Phase < events[j].Phase
+		}
+		if events[i].StartMS != events[j].StartMS {
+			return events[i].StartMS < events[j].StartMS
+		}
+		return events[i].Name < events[j].Name
+	})
+	shown := 0
+	skippedPerPhase := map[int]int{}
+	rowsPerPhase := map[int]int{}
+	perPhaseCap := maxRows / maxInt(1, countPhases(events))
+	if perPhaseCap < 1 {
+		perPhaseCap = 1
+	}
+	for _, ev := range events {
+		if rowsPerPhase[ev.Phase] >= perPhaseCap {
+			skippedPerPhase[ev.Phase]++
+			continue
+		}
+		rowsPerPhase[ev.Phase]++
+		shown++
+		startCol := int(ev.StartMS / span * float64(width))
+		endCol := int(ev.EndMS / span * float64(width))
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		if endCol > width {
+			endCol = width
+		}
+		bar := strings.Repeat(" ", startCol) + strings.Repeat("=", endCol-startCol)
+		marker := ""
+		if ev.Error != "" {
+			marker = " !ERR"
+		}
+		fmt.Fprintf(w, "%-34s|%-*s|%s\n", truncate(ev.Name, 30)+fmt.Sprintf(" (%d)", ev.Phase), width, bar, marker)
+	}
+	phases := make([]int, 0, len(skippedPerPhase))
+	for p := range skippedPerPhase {
+		phases = append(phases, p)
+	}
+	sort.Ints(phases)
+	for _, p := range phases {
+		fmt.Fprintf(w, "  ... phase %d: %d more function(s) not shown\n", p, skippedPerPhase[p])
+	}
+	_ = shown
+	return nil
+}
+
+func countPhases(events []wfm.TraceEvent) int {
+	seen := map[int]struct{}{}
+	for _, ev := range events {
+		seen[ev.Phase] = struct{}{}
+	}
+	return len(seen)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "~"
+}

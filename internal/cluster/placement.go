@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Placer selects a node for a reservation — the pluggable scheduling
+// policy layer the paper lists among the research directions its
+// framework enables ("the design of resource management and scheduling
+// algorithms"). Place on Cluster uses FirstFit; PlaceWith accepts any
+// policy.
+type Placer interface {
+	// Pick orders candidate nodes for an allocation of cores/mem; the
+	// caller tries them in order. Returning an empty slice means no
+	// preference (caller uses cluster order).
+	Pick(nodes []*Node, cores float64, mem int64) []*Node
+}
+
+// FirstFit places on the first node with room, in cluster order — the
+// default two-node-testbed behaviour.
+type FirstFit struct{}
+
+// Pick implements Placer.
+func (FirstFit) Pick(nodes []*Node, cores float64, mem int64) []*Node { return nodes }
+
+// BestFit places on the feasible node with the least remaining cores,
+// packing work tightly and leaving whole nodes free for coarse-grained
+// reservations.
+type BestFit struct{}
+
+// Pick implements Placer.
+func (BestFit) Pick(nodes []*Node, cores float64, mem int64) []*Node {
+	return sortByFreeCores(nodes, true)
+}
+
+// WorstFit places on the node with the most remaining cores, spreading
+// load — lower per-node contention at the price of fragmentation.
+type WorstFit struct{}
+
+// Pick implements Placer.
+func (WorstFit) Pick(nodes []*Node, cores float64, mem int64) []*Node {
+	return sortByFreeCores(nodes, false)
+}
+
+// RoundRobinPlacer cycles through nodes, the classic spread policy.
+type RoundRobinPlacer struct {
+	next atomic.Int64
+}
+
+// Pick implements Placer.
+func (p *RoundRobinPlacer) Pick(nodes []*Node, cores float64, mem int64) []*Node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	start := int(p.next.Add(1)-1) % len(nodes)
+	out := make([]*Node, 0, len(nodes))
+	for i := 0; i < len(nodes); i++ {
+		out = append(out, nodes[(start+i)%len(nodes)])
+	}
+	return out
+}
+
+// sortByFreeCores returns nodes ordered by free (unreserved) cores.
+func sortByFreeCores(nodes []*Node, ascending bool) []*Node {
+	out := append([]*Node(nil), nodes...)
+	// insertion sort: node counts are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a := freeCores(out[j-1])
+			b := freeCores(out[j])
+			if (ascending && b < a) || (!ascending && b > a) {
+				out[j-1], out[j] = out[j], out[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func freeCores(n *Node) float64 {
+	u := n.Snapshot()
+	return u.CapCores - u.ReservedCores
+}
+
+// PlaceWith reserves cores/mem using the given policy. A nil placer
+// falls back to FirstFit.
+func (c *Cluster) PlaceWith(p Placer, cores float64, mem int64) (*Reservation, error) {
+	if p == nil {
+		p = FirstFit{}
+	}
+	order := p.Pick(c.nodes, cores, mem)
+	if len(order) == 0 {
+		order = c.nodes
+	}
+	var lastErr error
+	for _, n := range order {
+		r, err := n.Reserve(cores, mem)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: cluster has no nodes", ErrInsufficient)
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func threeNodes() *Cluster {
+	a := NewNode(NodeSpec{Name: "a", Cores: 8, MemBytes: 1 << 30})
+	b := NewNode(NodeSpec{Name: "b", Cores: 16, MemBytes: 1 << 30})
+	c := NewNode(NodeSpec{Name: "c", Cores: 4, MemBytes: 1 << 30})
+	return New(a, b, c)
+}
+
+func TestPlaceWithNilDefaultsFirstFit(t *testing.T) {
+	c := threeNodes()
+	r, err := c.PlaceWith(nil, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Node().Spec().Name != "a" {
+		t.Fatalf("placed on %s, want a", r.Node().Spec().Name)
+	}
+}
+
+func TestBestFitPacksTightest(t *testing.T) {
+	c := threeNodes()
+	// c has 4 free cores: tightest feasible fit for 2 cores.
+	r, err := c.PlaceWith(BestFit{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Node().Spec().Name != "c" {
+		t.Fatalf("placed on %s, want c", r.Node().Spec().Name)
+	}
+	// Request too big for c: next tightest is a.
+	r2, err := c.PlaceWith(BestFit{}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Node().Spec().Name != "a" {
+		t.Fatalf("placed on %s, want a", r2.Node().Spec().Name)
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	c := threeNodes()
+	r, err := c.PlaceWith(WorstFit{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Node().Spec().Name != "b" {
+		t.Fatalf("placed on %s, want b (most free)", r.Node().Spec().Name)
+	}
+	// After reserving 14 of b's 16 cores, a becomes the most free.
+	if _, err := c.Nodes()[1].Reserve(12, 0); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.PlaceWith(WorstFit{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Node().Spec().Name != "a" {
+		t.Fatalf("placed on %s, want a", r2.Node().Spec().Name)
+	}
+}
+
+func TestRoundRobinPlacerCycles(t *testing.T) {
+	c := threeNodes()
+	p := &RoundRobinPlacer{}
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		r, err := c.PlaceWith(p, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r.Node().Spec().Name]++
+	}
+	if seen["a"] != 2 || seen["b"] != 2 || seen["c"] != 2 {
+		t.Fatalf("spread = %v", seen)
+	}
+}
+
+func TestRoundRobinSkipsFullNodes(t *testing.T) {
+	c := threeNodes()
+	// Fill node b entirely.
+	if _, err := c.Nodes()[1].Reserve(16, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := &RoundRobinPlacer{}
+	for i := 0; i < 6; i++ {
+		r, err := c.PlaceWith(p, 3, 0)
+		if err != nil {
+			// a(8/3=2) + c(4/3=1) fit 3 reservations; beyond that
+			// exhaustion is correct.
+			if !errors.Is(err, ErrInsufficient) {
+				t.Fatal(err)
+			}
+			return
+		}
+		if r.Node().Spec().Name == "b" {
+			t.Fatal("placed on a full node")
+		}
+	}
+}
+
+func TestPlaceWithEmptyCluster(t *testing.T) {
+	c := New()
+	if _, err := c.PlaceWith(BestFit{}, 1, 0); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+}

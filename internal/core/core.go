@@ -1,0 +1,426 @@
+// Package core is the top-level API of the framework the paper proposes
+// (Figure 1): it assembles the four components — the WfCommons-derived
+// workflow generator, the translators, a serverless platform (or the
+// bare-metal local-container baseline, or both), and the serverless
+// workflow manager — into a Session against which workflows are
+// generated, translated, executed, and measured.
+//
+// A Session keeps its platform warm across runs, which is what the
+// examples and long-running studies want; the experiments package builds
+// one fresh Session per measurement so every Table/Figure cell starts
+// from a cold, empty cluster exactly as the paper's campaigns do.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/container"
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/serverless"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/translator"
+	"wfserverless/internal/wfbench"
+	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfgen"
+	"wfserverless/internal/wfm"
+)
+
+// Platform kinds.
+const (
+	KindKnative = "knative"
+	KindLocal   = "local"
+)
+
+// PlatformConfig provisions one execution platform inside a session.
+type PlatformConfig struct {
+	// Kind is KindKnative or KindLocal.
+	Kind string
+	// Workers per pod/container.
+	Workers int
+	// PM keeps WfBench ballast between invocations (--vm-keep).
+	PM bool
+
+	// Knative-only knobs.
+	CPURequestPerWorker float64
+	MemRequestPerWorker int64
+	MinScale            int
+	MaxScale            int
+	ColdStart           float64 // nominal seconds
+	AutoscalePeriod     float64
+	StableWindow        float64
+	InstantScaleUp      bool
+
+	// Local-container-only knobs.
+	Containers           int
+	CPUsPerContainer     float64
+	MemLimitPerContainer int64
+
+	// Shared overheads.
+	PodOverheadMem    int64
+	WorkerOverheadMem int64
+	PodOverheadCPU    float64
+	InputWait         float64
+}
+
+// SessionConfig assembles a Session.
+type SessionConfig struct {
+	// Cluster is the compute substrate; nil provisions the paper's
+	// two-node testbed.
+	Cluster *cluster.Cluster
+	// Drive is the shared drive; nil provisions an in-memory one.
+	Drive sharedfs.Drive
+	// TimeScale compresses all nominal durations; zero means 1.
+	TimeScale float64
+	// Engine overrides the WfBench stress engine (nil: SimEngine; use
+	// wfbench.BurnEngine for real CPU burn).
+	Engine wfbench.Engine
+
+	// Platform is the primary execution platform.
+	Platform PlatformConfig
+	// Secondary optionally provisions a second platform for hybrid
+	// executions (the paper's future-work direction of mapping
+	// sub-workflows to different paradigms).
+	Secondary *PlatformConfig
+
+	// Workflow-manager knobs (nominal seconds).
+	PhaseDelay  float64
+	InputWait   float64
+	MaxParallel int
+
+	// SampleInterval is the telemetry period in nominal seconds; zero
+	// defaults to 1 (the paper's 1 Hz PCP sampling).
+	SampleInterval float64
+}
+
+// platformHandle abstracts over the two platform implementations.
+type platformHandle struct {
+	kind string
+	url  string
+	stop func()
+
+	knative *serverless.Platform
+	local   *container.Runtime
+}
+
+// Session is a live framework instance.
+type Session struct {
+	cfg     SessionConfig
+	clus    *cluster.Cluster
+	drive   sharedfs.Drive
+	manager *wfm.Manager
+	sampler *metrics.Sampler
+
+	primary   *platformHandle
+	secondary *platformHandle
+
+	sampling bool
+	closed   bool
+}
+
+// NewSession provisions the platforms and the workflow manager. Close
+// must be called to release them.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TimeScale < 0 {
+		return nil, errors.New("core: negative TimeScale")
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 1
+	}
+	s := &Session{cfg: cfg}
+	s.clus = cfg.Cluster
+	if s.clus == nil {
+		s.clus = cluster.PaperTestbed()
+	}
+	s.drive = cfg.Drive
+	if s.drive == nil {
+		s.drive = sharedfs.NewMem()
+	}
+
+	var err error
+	s.primary, err = s.provision(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Secondary != nil {
+		s.secondary, err = s.provision(*cfg.Secondary)
+		if err != nil {
+			s.primary.stop()
+			return nil, err
+		}
+	}
+
+	s.manager, err = wfm.New(wfm.Options{
+		Drive:       s.drive,
+		TimeScale:   cfg.TimeScale,
+		PhaseDelay:  cfg.PhaseDelay,
+		InputWait:   cfg.InputWait,
+		MaxParallel: cfg.MaxParallel,
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	s.sampler = metrics.NewSampler(time.Duration(cfg.SampleInterval * cfg.TimeScale * float64(time.Second)))
+	s.registerGauges()
+	return s, nil
+}
+
+func (s *Session) provision(pc PlatformConfig) (*platformHandle, error) {
+	switch pc.Kind {
+	case KindKnative:
+		p, err := serverless.New(serverless.Options{
+			Cluster:           s.clus,
+			Drive:             s.drive,
+			TimeScale:         s.cfg.TimeScale,
+			Engine:            s.cfg.Engine,
+			ColdStart:         pc.ColdStart,
+			AutoscalePeriod:   pc.AutoscalePeriod,
+			StableWindow:      pc.StableWindow,
+			PodOverheadMem:    pc.PodOverheadMem,
+			WorkerOverheadMem: pc.WorkerOverheadMem,
+			PodOverheadCPU:    pc.PodOverheadCPU,
+			InputWait:         pc.InputWait,
+			InstantScaleUp:    pc.InstantScaleUp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		url, err := p.Start()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Apply(serverless.ServiceConfig{
+			Name:                "wfbench",
+			Workers:             pc.Workers,
+			CPURequestPerWorker: pc.CPURequestPerWorker,
+			MemRequestPerWorker: pc.MemRequestPerWorker,
+			MinScale:            pc.MinScale,
+			MaxScale:            pc.MaxScale,
+			KeepMem:             pc.PM,
+		}); err != nil {
+			p.Stop()
+			return nil, err
+		}
+		return &platformHandle{kind: KindKnative, url: url, stop: p.Stop, knative: p}, nil
+
+	case KindLocal:
+		rt, err := container.NewRuntime(container.Options{
+			Cluster:           s.clus,
+			Drive:             s.drive,
+			TimeScale:         s.cfg.TimeScale,
+			Engine:            s.cfg.Engine,
+			InputWait:         pc.InputWait,
+			PodOverheadMem:    pc.PodOverheadMem,
+			WorkerOverheadMem: pc.WorkerOverheadMem,
+			PodOverheadCPU:    pc.PodOverheadCPU,
+		})
+		if err != nil {
+			return nil, err
+		}
+		url, err := rt.Start()
+		if err != nil {
+			return nil, err
+		}
+		n := pc.Containers
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if _, err := rt.Run(container.Config{
+				Name:     fmt.Sprintf("wfbench-%03d", i),
+				Workers:  pc.Workers,
+				CPUs:     pc.CPUsPerContainer,
+				MemLimit: pc.MemLimitPerContainer,
+				KeepMem:  pc.PM,
+			}); err != nil {
+				rt.Stop()
+				return nil, fmt.Errorf("core: container %d: %w", i, err)
+			}
+		}
+		return &platformHandle{kind: KindLocal, url: url, stop: rt.Stop, local: rt}, nil
+	}
+	return nil, fmt.Errorf("core: unknown platform kind %q", pc.Kind)
+}
+
+func (s *Session) registerGauges() {
+	s.sampler.Register(metrics.MetricCPUUser, func() float64 { return s.clus.Snapshot().BusyCores })
+	s.sampler.Register(metrics.MetricCPUReserved, func() float64 { return s.clus.Snapshot().ReservedCores })
+	s.sampler.Register("cpu.usage.cores", func() float64 {
+		u := s.clus.Snapshot()
+		if u.BusyCores > u.ReservedCores {
+			return u.BusyCores
+		}
+		return u.ReservedCores
+	})
+	s.sampler.Register(metrics.MetricMemUsed, func() float64 { return float64(s.clus.Snapshot().UsedMem) })
+	s.sampler.Register(metrics.MetricMemReserved, func() float64 { return float64(s.clus.Snapshot().ReservedMem) })
+	s.sampler.Register(metrics.MetricPower, func() float64 { return s.clus.Snapshot().PowerWatts })
+	if s.primary.knative != nil {
+		p := s.primary.knative
+		s.sampler.Register(metrics.MetricPodsRunning, func() float64 { return float64(p.Pods()) })
+		s.sampler.Register(metrics.MetricQueueDepth, func() float64 { return float64(p.QueueDepth()) })
+	} else if s.primary.local != nil {
+		rt := s.primary.local
+		s.sampler.Register(metrics.MetricQueueDepth, func() float64 { return float64(rt.QueueDepth()) })
+	}
+}
+
+// Cluster returns the session's substrate.
+func (s *Session) Cluster() *cluster.Cluster { return s.clus }
+
+// Drive returns the shared drive.
+func (s *Session) Drive() sharedfs.Drive { return s.drive }
+
+// Sampler returns the telemetry sampler.
+func (s *Session) Sampler() *metrics.Sampler { return s.sampler }
+
+// URL returns the primary platform's endpoint.
+func (s *Session) URL() string { return s.primary.url }
+
+// SecondaryURL returns the hybrid second platform's endpoint, or "".
+func (s *Session) SecondaryURL() string {
+	if s.secondary == nil {
+		return ""
+	}
+	return s.secondary.url
+}
+
+// Knative exposes the primary (or secondary) Knative platform if one was
+// provisioned, else nil.
+func (s *Session) Knative() *serverless.Platform {
+	if s.primary.knative != nil {
+		return s.primary.knative
+	}
+	if s.secondary != nil {
+		return s.secondary.knative
+	}
+	return nil
+}
+
+// LocalRuntime exposes the local-container runtime if provisioned.
+func (s *Session) LocalRuntime() *container.Runtime {
+	if s.primary.local != nil {
+		return s.primary.local
+	}
+	if s.secondary != nil {
+		return s.secondary.local
+	}
+	return nil
+}
+
+// StartSampling begins telemetry collection; call before Run for
+// measured executions.
+func (s *Session) StartSampling() error {
+	if s.sampling {
+		return errors.New("core: sampling already started")
+	}
+	s.sampling = true
+	return s.sampler.Start()
+}
+
+// StopSampling halts telemetry.
+func (s *Session) StopSampling() {
+	if s.sampling {
+		s.sampler.Stop()
+		s.sampling = false
+	}
+}
+
+// GenerateWorkflow builds a workflow instance from a recipe.
+func (s *Session) GenerateWorkflow(recipe string, numTasks int, seed int64) (*wfformat.Workflow, error) {
+	return wfgen.Generate(wfgen.Spec{Recipe: recipe, NumTasks: numTasks, Seed: seed})
+}
+
+// Translate annotates the workflow for the primary platform.
+func (s *Session) Translate(w *wfformat.Workflow) (*wfformat.Workflow, error) {
+	return s.translateFor(w, s.primary)
+}
+
+func (s *Session) translateFor(w *wfformat.Workflow, h *platformHandle) (*wfformat.Workflow, error) {
+	if h.kind == KindKnative {
+		return translator.Knative(w, translator.KnativeOptions{IngressURL: h.url, Workdir: "shared"})
+	}
+	return translator.LocalContainer(w, translator.LocalContainerOptions{BaseURL: h.url, Workdir: "shared"})
+}
+
+// Run translates and executes the workflow on the primary platform.
+func (s *Session) Run(ctx context.Context, w *wfformat.Workflow) (*wfm.Result, error) {
+	if s.closed {
+		return nil, errors.New("core: session closed")
+	}
+	tw, err := s.Translate(w)
+	if err != nil {
+		return nil, err
+	}
+	return s.manager.Run(ctx, tw)
+}
+
+// RunRecipe generates, translates, and executes in one call — the
+// quickstart path.
+func (s *Session) RunRecipe(ctx context.Context, recipe string, numTasks int, seed int64) (*wfm.Result, error) {
+	w, err := s.GenerateWorkflow(recipe, numTasks, seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx, w)
+}
+
+// RunHybrid executes the workflow with a per-task platform choice: pick
+// returns KindKnative or KindLocal for each task. This implements the
+// paper's proposed hybrid approach of "leveraging a combination of both
+// computational paradigms ... applied strategically to different steps
+// within the workflows". The session must have a Secondary platform of
+// the other kind.
+func (s *Session) RunHybrid(ctx context.Context, w *wfformat.Workflow, pick func(*wfformat.Task) string) (*wfm.Result, error) {
+	if s.closed {
+		return nil, errors.New("core: session closed")
+	}
+	if s.secondary == nil {
+		return nil, errors.New("core: RunHybrid needs a Secondary platform")
+	}
+	byKind := map[string]*platformHandle{
+		s.primary.kind:   s.primary,
+		s.secondary.kind: s.secondary,
+	}
+	out := w.Clone()
+	for _, name := range out.TaskNames() {
+		t := out.Tasks[name]
+		kind := pick(t)
+		h, ok := byKind[kind]
+		if !ok {
+			return nil, fmt.Errorf("core: pick(%s) returned unknown kind %q", name, kind)
+		}
+		if h.kind == KindKnative {
+			t.Command.APIURL = h.url + "/wfbench/wfbench"
+		} else {
+			t.Command.APIURL = h.url + "/wfbench"
+		}
+		for i := range t.Command.Arguments {
+			t.Command.Arguments[i].Workdir = "shared"
+		}
+	}
+	return s.manager.Run(ctx, out)
+}
+
+// Close releases all platforms. Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.StopSampling()
+	if s.secondary != nil {
+		s.secondary.stop()
+	}
+	if s.primary != nil {
+		s.primary.stop()
+	}
+}

@@ -1,0 +1,62 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// layeredGraph builds a DAG of the given layer count and width, each
+// vertex depending on two vertices of the previous layer.
+func layeredGraph(layers, width int) *Graph {
+	g := New()
+	r := rand.New(rand.NewSource(1))
+	var prev []string
+	for l := 0; l < layers; l++ {
+		var cur []string
+		for i := 0; i < width; i++ {
+			v := fmt.Sprintf("v%d_%d", l, i)
+			g.AddVertex(v)
+			for k := 0; k < 2 && len(prev) > 0; k++ {
+				g.AddEdge(prev[r.Intn(len(prev))], v)
+			}
+			cur = append(cur, v)
+		}
+		prev = cur
+	}
+	return g
+}
+
+func BenchmarkTopoSort(b *testing.B) {
+	g := layeredGraph(20, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevels(b *testing.B) {
+	g := layeredGraph(20, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Levels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCriticalPath(b *testing.B) {
+	g := layeredGraph(20, 50)
+	w := make(map[string]float64, g.Len())
+	for _, v := range g.Vertices() {
+		w[v] = float64(len(v))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.CriticalPath(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package dag implements a generic directed acyclic graph used to model
+// scientific workflows: tasks are vertices and data/control dependencies
+// are edges. It provides the operations the workflow manager and the
+// characterization tooling need — cycle detection, topological ordering,
+// level (phase) assignment, critical-path analysis, and transitive
+// reduction — without any knowledge of the workflow JSON format.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed graph keyed by string vertex IDs. The zero value is
+// not ready to use; call New.
+type Graph struct {
+	// adjacency: vertex -> set of children
+	children map[string]map[string]struct{}
+	// reverse adjacency: vertex -> set of parents
+	parents map[string]map[string]struct{}
+	// insertion order, for deterministic iteration
+	order []string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		children: make(map[string]map[string]struct{}),
+		parents:  make(map[string]map[string]struct{}),
+	}
+}
+
+// AddVertex inserts v if it is not already present.
+func (g *Graph) AddVertex(v string) {
+	if _, ok := g.children[v]; ok {
+		return
+	}
+	g.children[v] = make(map[string]struct{})
+	g.parents[v] = make(map[string]struct{})
+	g.order = append(g.order, v)
+}
+
+// HasVertex reports whether v is in the graph.
+func (g *Graph) HasVertex(v string) bool {
+	_, ok := g.children[v]
+	return ok
+}
+
+// AddEdge inserts the edge from -> to, adding missing vertices. Self-edges
+// are rejected because a task cannot depend on itself.
+func (g *Graph) AddEdge(from, to string) error {
+	if from == to {
+		return fmt.Errorf("dag: self edge on %q", from)
+	}
+	g.AddVertex(from)
+	g.AddVertex(to)
+	g.children[from][to] = struct{}{}
+	g.parents[to][from] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Graph) HasEdge(from, to string) bool {
+	_, ok := g.children[from][to]
+	return ok
+}
+
+// RemoveEdge deletes the edge from -> to if present.
+func (g *Graph) RemoveEdge(from, to string) {
+	delete(g.children[from], to)
+	delete(g.parents[to], from)
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.order) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, cs := range g.children {
+		n += len(cs)
+	}
+	return n
+}
+
+// Vertices returns all vertices in insertion order.
+func (g *Graph) Vertices() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Children returns the sorted children of v.
+func (g *Graph) Children(v string) []string { return sortedKeys(g.children[v]) }
+
+// Parents returns the sorted parents of v.
+func (g *Graph) Parents(v string) []string { return sortedKeys(g.parents[v]) }
+
+// InDegree returns the number of parents of v.
+func (g *Graph) InDegree(v string) int { return len(g.parents[v]) }
+
+// OutDegree returns the number of children of v.
+func (g *Graph) OutDegree(v string) int { return len(g.children[v]) }
+
+// Roots returns vertices with no parents, sorted.
+func (g *Graph) Roots() []string {
+	var out []string
+	for _, v := range g.order {
+		if len(g.parents[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leaves returns vertices with no children, sorted.
+func (g *Graph) Leaves() []string {
+	var out []string
+	for _, v := range g.order {
+		if len(g.children[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CycleError describes a dependency cycle found in a graph.
+type CycleError struct {
+	// Cycle lists the vertices on one detected cycle, in order.
+	Cycle []string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("dag: cycle detected: %v", e.Cycle)
+}
+
+// TopoSort returns a topological ordering. Within each level the order is
+// lexicographic, so the result is deterministic. It returns a *CycleError
+// if the graph has a cycle.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.order))
+	for _, v := range g.order {
+		indeg[v] = len(g.parents[v])
+	}
+	var frontier []string
+	for _, v := range g.order {
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	sort.Strings(frontier)
+	out := make([]string, 0, len(g.order))
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, v)
+		next := g.Children(v)
+		added := false
+		for _, c := range next {
+			indeg[c]--
+			if indeg[c] == 0 {
+				frontier = append(frontier, c)
+				added = true
+			}
+		}
+		if added {
+			sort.Strings(frontier)
+		}
+	}
+	if len(out) != len(g.order) {
+		return nil, &CycleError{Cycle: g.findCycle()}
+	}
+	return out, nil
+}
+
+// findCycle returns one cycle, used to build CycleError. It assumes a
+// cycle exists.
+func (g *Graph) findCycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.order))
+	parent := make(map[string]string)
+	var cycle []string
+	var dfs func(v string) bool
+	dfs = func(v string) bool {
+		color[v] = gray
+		for _, c := range g.Children(v) {
+			switch color[c] {
+			case white:
+				parent[c] = v
+				if dfs(c) {
+					return true
+				}
+			case gray:
+				// unwind from v back to c
+				cycle = []string{c}
+				for x := v; x != c; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// reverse to get forward order
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range g.order {
+		if color[v] == white && dfs(v) {
+			break
+		}
+	}
+	return cycle
+}
+
+// Levels partitions the vertices into topological levels: level 0 contains
+// the roots, and every vertex is placed one past its deepest parent. This
+// is exactly the "phase" structure the paper's workflow manager executes —
+// all functions in a level are invoked simultaneously. Returns a
+// *CycleError if the graph has a cycle.
+func (g *Graph) Levels() ([][]string, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[string]int, len(order))
+	maxLevel := 0
+	for _, v := range order {
+		l := 0
+		for p := range g.parents[v] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[v] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]string, maxLevel+1)
+	for _, v := range order {
+		out[level[v]] = append(out[level[v]], v)
+	}
+	for _, lv := range out {
+		sort.Strings(lv)
+	}
+	return out, nil
+}
+
+// LevelOf returns a map from vertex to its topological level.
+func (g *Graph) LevelOf() (map[string]int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]int, len(g.order))
+	for i, lv := range levels {
+		for _, v := range lv {
+			m[v] = i
+		}
+	}
+	return m, nil
+}
+
+// CriticalPath returns the longest path through the DAG where each vertex
+// has the given weight, along with its total weight. Vertices missing from
+// weights count as zero. Returns a *CycleError on cyclic graphs.
+func (g *Graph) CriticalPath(weights map[string]float64) ([]string, float64, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make(map[string]float64, len(order))
+	prev := make(map[string]string, len(order))
+	best, bestV := -1.0, ""
+	for _, v := range order {
+		d := weights[v]
+		for p := range g.parents[v] {
+			if dist[p]+weights[v] > d {
+				d = dist[p] + weights[v]
+				prev[v] = p
+			}
+		}
+		dist[v] = d
+		if d > best {
+			best, bestV = d, v
+		}
+	}
+	if bestV == "" {
+		return nil, 0, nil
+	}
+	var path []string
+	for v := bestV; ; {
+		path = append(path, v)
+		p, ok := prev[v]
+		if !ok {
+			break
+		}
+		v = p
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best, nil
+}
+
+// Ancestors returns all transitive ancestors of v, sorted.
+func (g *Graph) Ancestors(v string) []string {
+	seen := make(map[string]struct{})
+	var walk func(string)
+	walk = func(x string) {
+		for p := range g.parents[x] {
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				walk(p)
+			}
+		}
+	}
+	walk(v)
+	return sortedKeys(seen)
+}
+
+// Descendants returns all transitive descendants of v, sorted.
+func (g *Graph) Descendants(v string) []string {
+	seen := make(map[string]struct{})
+	var walk func(string)
+	walk = func(x string) {
+		for c := range g.children[x] {
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				walk(c)
+			}
+		}
+	}
+	walk(v)
+	return sortedKeys(seen)
+}
+
+// TransitiveReduction removes every edge u->v for which another path
+// u->...->v exists. Workflow instances sometimes carry redundant edges;
+// reduction keeps phase structure identical while minimizing edges.
+func (g *Graph) TransitiveReduction() error {
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	for _, u := range g.order {
+		for _, v := range g.Children(u) {
+			// Is v reachable from u without the direct edge?
+			g.RemoveEdge(u, v)
+			if g.reachable(u, v) {
+				continue // redundant, keep removed
+			}
+			g.children[u][v] = struct{}{}
+			g.parents[v][u] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// reachable reports whether to is reachable from from.
+func (g *Graph) reachable(from, to string) bool {
+	stack := []string{from}
+	seen := map[string]struct{}{from: {}}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := range g.children[v] {
+			if c == to {
+				return true
+			}
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	n := New()
+	for _, v := range g.order {
+		n.AddVertex(v)
+	}
+	for _, v := range g.order {
+		for c := range g.children[v] {
+			n.children[v][c] = struct{}{}
+			n.parents[c][v] = struct{}{}
+		}
+	}
+	return n
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

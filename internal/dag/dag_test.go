@@ -1,0 +1,354 @@
+package dag
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "a", "c")
+	mustEdge(t, g, "b", "d")
+	mustEdge(t, g, "c", "d")
+	return g
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to string) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatalf("AddEdge(%q,%q): %v", from, to, err)
+	}
+}
+
+func TestAddVertexIdempotent(t *testing.T) {
+	g := New()
+	g.AddVertex("x")
+	g.AddVertex("x")
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestSelfEdgeRejected(t *testing.T) {
+	g := New()
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Fatal("self edge accepted")
+	}
+}
+
+func TestHasEdgeAndRemove(t *testing.T) {
+	g := diamond(t)
+	if !g.HasEdge("a", "b") {
+		t.Fatal("missing edge a->b")
+	}
+	g.RemoveEdge("a", "b")
+	if g.HasEdge("a", "b") {
+		t.Fatal("edge a->b survived removal")
+	}
+	if got := g.Parents("b"); len(got) != 0 {
+		t.Fatalf("Parents(b) = %v, want empty", got)
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	g := diamond(t)
+	if got := g.Roots(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Roots = %v", got)
+	}
+	if got := g.Leaves(); !reflect.DeepEqual(got, []string{"d"}) {
+		t.Fatalf("Leaves = %v", got)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := diamond(t)
+	if g.OutDegree("a") != 2 || g.InDegree("a") != 0 {
+		t.Fatalf("a degrees wrong: out=%d in=%d", g.OutDegree("a"), g.InDegree("a"))
+	}
+	if g.InDegree("d") != 2 {
+		t.Fatalf("InDegree(d) = %d", g.InDegree("d"))
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("order %v violates edge %v", order, e)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		mustEdge(t, g, "r", "z")
+		mustEdge(t, g, "r", "a")
+		mustEdge(t, g, "r", "m")
+		return g
+	}
+	a, _ := build().TopoSort()
+	b, _ := build().TopoSort()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic topo: %v vs %v", a, b)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	mustEdge(t, g, "c", "a")
+	_, err := g.TopoSort()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CycleError, got %v", err)
+	}
+	if len(ce.Cycle) != 3 {
+		t.Fatalf("cycle = %v, want 3 vertices", ce.Cycle)
+	}
+	// verify reported cycle is a real cycle
+	for i, v := range ce.Cycle {
+		next := ce.Cycle[(i+1)%len(ce.Cycle)]
+		if !g.HasEdge(v, next) {
+			t.Fatalf("reported cycle %v has no edge %s->%s", ce.Cycle, v, next)
+		}
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g := diamond(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a"}, {"b", "c"}, {"d"}}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("Levels = %v, want %v", levels, want)
+	}
+}
+
+func TestLevelsDeepestParentWins(t *testing.T) {
+	// a -> b -> c, a -> c : c must be at level 2, not 1.
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	mustEdge(t, g, "a", "c")
+	m, err := g.LevelOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["c"] != 2 {
+		t.Fatalf("level(c) = %d, want 2", m["c"])
+	}
+}
+
+func TestLevelsCycle(t *testing.T) {
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "a")
+	if _, err := g.Levels(); err == nil {
+		t.Fatal("Levels accepted a cyclic graph")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := diamond(t)
+	w := map[string]float64{"a": 1, "b": 5, "c": 2, "d": 1}
+	path, total, err := g.CriticalPath(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 {
+		t.Fatalf("total = %v, want 7", total)
+	}
+	if !reflect.DeepEqual(path, []string{"a", "b", "d"}) {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	g := New()
+	path, total, err := g.CriticalPath(nil)
+	if err != nil || path != nil || total != 0 {
+		t.Fatalf("empty graph: path=%v total=%v err=%v", path, total, err)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := diamond(t)
+	if got := g.Ancestors("d"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Ancestors(d) = %v", got)
+	}
+	if got := g.Descendants("a"); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Fatalf("Descendants(a) = %v", got)
+	}
+	if got := g.Ancestors("a"); len(got) != 0 {
+		t.Fatalf("Ancestors(a) = %v, want empty", got)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	// a->b->c plus the redundant a->c.
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	mustEdge(t, g, "a", "c")
+	if err := g.TransitiveReduction(); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge("a", "c") {
+		t.Fatal("redundant edge a->c survived")
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "c") {
+		t.Fatal("reduction removed a necessary edge")
+	}
+}
+
+func TestTransitiveReductionPreservesLevels(t *testing.T) {
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	mustEdge(t, g, "a", "c")
+	mustEdge(t, g, "c", "d")
+	mustEdge(t, g, "a", "d")
+	before, _ := g.LevelOf()
+	if err := g.TransitiveReduction(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := g.LevelOf()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("levels changed: %v -> %v", before, after)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.RemoveEdge("a", "b")
+	if !g.HasEdge("a", "b") {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.Len() != g.Len() {
+		t.Fatalf("clone Len = %d, want %d", c.Len(), g.Len())
+	}
+}
+
+// randomDAG builds a random DAG by only adding forward edges over a
+// shuffled vertex order, so it is acyclic by construction.
+func randomDAG(r *rand.Rand, n int) *Graph {
+	g := New()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		g.AddVertex(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(4) == 0 {
+				g.AddEdge(names[i], names[j])
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(20))
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, u := range g.Vertices() {
+			for _, c := range g.Children(u) {
+				if pos[u] >= pos[c] {
+					return false
+				}
+			}
+		}
+		return len(order) == g.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevelsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(20))
+		levels, err := g.Levels()
+		if err != nil {
+			return false
+		}
+		var all []string
+		for _, lv := range levels {
+			all = append(all, lv...)
+		}
+		if len(all) != g.Len() {
+			return false
+		}
+		sort.Strings(all)
+		want := g.Vertices()
+		sort.Strings(want)
+		if !reflect.DeepEqual(all, want) {
+			return false
+		}
+		// every vertex strictly deeper than all its parents
+		lv, _ := g.LevelOf()
+		for _, v := range g.Vertices() {
+			for _, p := range g.Parents(v) {
+				if lv[p] >= lv[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransitiveReductionPreservesReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(15))
+		before := map[string][]string{}
+		for _, v := range g.Vertices() {
+			before[v] = g.Descendants(v)
+		}
+		if err := g.TransitiveReduction(); err != nil {
+			return false
+		}
+		for _, v := range g.Vertices() {
+			if !reflect.DeepEqual(before[v], g.Descendants(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"wfserverless/internal/wfformat"
+)
+
+func TestRunConcurrentNeedsWorkflows(t *testing.T) {
+	spec, _ := ByID(Kn10wNoPM)
+	if _, err := RunConcurrent(context.Background(), spec, nil, fastTunables()); err == nil {
+		t.Fatal("empty workflow list accepted")
+	}
+}
+
+// TestConcurrentServerlessInterleaves is the paper's Section VII
+// conjecture: submitting several workflows at once to the serverless
+// platform overlaps them, finishing well before the serialized sum of
+// their solo makespans.
+func TestConcurrentServerlessInterleaves(t *testing.T) {
+	tn := fastTunables()
+	spec, _ := ByID(Kn10wNoPM)
+	var wfs []*wfformat.Workflow
+	for _, recipe := range []string{"blast", "seismology", "srasearch"} {
+		inst := mustGen(t, recipe, 40)
+		wfs = append(wfs, inst.Workflow)
+	}
+	m, err := RunConcurrent(context.Background(), spec, wfs, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != wfs[0].Len()+wfs[1].Len()+wfs[2].Len() {
+		t.Fatalf("tasks = %d", m.Tasks)
+	}
+	if m.Interleave >= 0.9 {
+		t.Errorf("interleave = %.2f, want well below 1 (overlapped execution)", m.Interleave)
+	}
+	if m.MakespanS <= 0 || m.MeanPowerW <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if m.Failures != 0 {
+		t.Fatalf("failures = %d", m.Failures)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceTimeFactor is 1 without the race detector.
+const raceTimeFactor = 1.0

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceTimeFactor stretches test time scales under the race detector,
+// whose instrumentation slows goroutine scheduling enough to drown
+// millisecond-scale timing signals.
+const raceTimeFactor = 5.0

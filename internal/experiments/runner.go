@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wfserverless/internal/core"
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/wfformat"
+)
+
+// Tunables are the shared experiment parameters. All durations are
+// nominal paper seconds; TimeScale compresses them for fast runs.
+type Tunables struct {
+	// TimeScale converts nominal seconds to wall seconds; the default
+	// 0.02 keeps modeled durations well above wall-clock scheduling
+	// noise while a 200-second campaign still runs in four seconds.
+	TimeScale float64
+
+	// Serverless platform knobs.
+	ColdStart       float64 // pod startup latency
+	AutoscalePeriod float64 // autoscaler tick
+	StableWindow    float64 // idle window before pod reclaim
+	// CPURequestPerWorker / MemRequestPerWorker size Knative pod
+	// reservations (requests scale with containerConcurrency).
+	CPURequestPerWorker float64
+	MemRequestPerWorker int64
+
+	// Local-container fleet: Containers x CPUsPerContainer cores are
+	// reserved up front (the docker --cpus=2 of the paper's AD), each
+	// with a hard memory limit when the paradigm declares requirements.
+	LCContainers       int
+	LCCPUsPerContainer float64
+	LCMemLimit         int64
+
+	// Shared per-process overheads.
+	PodOverheadMem    int64
+	WorkerOverheadMem int64
+	PodOverheadCPU    float64
+
+	// Workflow manager knobs.
+	PhaseDelay  float64
+	InputWait   float64
+	MaxParallel int
+
+	// SampleInterval is the telemetry period (the paper's pmdumptext
+	// -t 1sec).
+	SampleInterval float64
+
+	// InstantScaleUp is the autoscaler-ramp ablation knob: skip the
+	// KPA-style doubling and create every needed pod in one tick.
+	InstantScaleUp bool
+}
+
+// DefaultTunables returns the parameters used throughout EXPERIMENTS.md.
+func DefaultTunables() Tunables {
+	const mb = int64(1) << 20
+	return Tunables{
+		TimeScale:           0.02,
+		ColdStart:           2,
+		AutoscalePeriod:     1,
+		StableWindow:        6,
+		CPURequestPerWorker: 0.5,
+		MemRequestPerWorker: 64 * mb,
+		LCContainers:        48,
+		LCCPUsPerContainer:  2,
+		LCMemLimit:          3 << 30,
+		PodOverheadMem:      80 * mb,
+		WorkerOverheadMem:   64 * mb,
+		PodOverheadCPU:      0.05,
+		PhaseDelay:          1,
+		InputWait:           30,
+		MaxParallel:         512,
+		SampleInterval:      1,
+	}
+}
+
+// SessionConfig maps a Table II paradigm plus the tunables onto a core
+// session configuration. The coarse-grained paradigms provision one
+// process that reserves (nearly) a whole machine, with no cold start and
+// no scaling, matching Section V-C.
+func SessionConfig(spec Spec, tn Tunables) (core.SessionConfig, error) {
+	pc := core.PlatformConfig{
+		Workers:           spec.Workers,
+		PM:                spec.PM,
+		PodOverheadMem:    tn.PodOverheadMem,
+		WorkerOverheadMem: tn.WorkerOverheadMem,
+		PodOverheadCPU:    tn.PodOverheadCPU,
+		InputWait:         tn.InputWait,
+	}
+	// The paper-testbed node a coarse process monopolizes.
+	const (
+		coarseCores = 46
+		coarseMem   = int64(156) << 30
+	)
+	switch spec.Kind {
+	case KindKnative:
+		pc.Kind = core.KindKnative
+		pc.CPURequestPerWorker = tn.CPURequestPerWorker
+		pc.MemRequestPerWorker = tn.MemRequestPerWorker
+		pc.ColdStart = tn.ColdStart
+		pc.AutoscalePeriod = tn.AutoscalePeriod
+		pc.StableWindow = tn.StableWindow
+		pc.InstantScaleUp = tn.InstantScaleUp
+		if spec.Coarse {
+			pc.MinScale, pc.MaxScale = 1, 1
+			pc.ColdStart = 0
+			pc.CPURequestPerWorker = coarseCores / float64(spec.Workers)
+			pc.MemRequestPerWorker = coarseMem / int64(spec.Workers)
+		}
+	case KindLocal:
+		pc.Kind = core.KindLocal
+		pc.Containers = tn.LCContainers
+		pc.CPUsPerContainer = tn.LCCPUsPerContainer
+		pc.MemLimitPerContainer = tn.LCMemLimit
+		if spec.Coarse {
+			// One unique 1000-worker container reserving a whole
+			// machine, mirroring the coarse serverless scenario.
+			pc.Containers = 1
+			pc.CPUsPerContainer = coarseCores
+			pc.MemLimitPerContainer = coarseMem
+		}
+		if !spec.CR {
+			pc.CPUsPerContainer = 0
+			pc.MemLimitPerContainer = 0
+		}
+	default:
+		return core.SessionConfig{}, fmt.Errorf("experiments: unknown platform kind %q", spec.Kind)
+	}
+	return core.SessionConfig{
+		TimeScale:      tn.TimeScale,
+		Platform:       pc,
+		PhaseDelay:     tn.PhaseDelay,
+		InputWait:      tn.InputWait,
+		MaxParallel:    tn.MaxParallel,
+		SampleInterval: tn.SampleInterval,
+	}, nil
+}
+
+// Measurement is the paper's per-experiment record: execution time,
+// power, CPU, and memory usage, plus platform counters that explain the
+// behaviour (cold starts, queueing, scale stalls).
+type Measurement struct {
+	Paradigm Paradigm
+	Workflow string
+	Recipe   string
+	Tasks    int
+	Group    int // paper behavioural group (1 or 2), 0 if unknown
+
+	// MakespanS is end-to-end execution time in nominal seconds.
+	MakespanS float64
+	// MeanPowerW / EnergyJ from the RAPL-style model.
+	MeanPowerW float64
+	EnergyJ    float64
+	// MeanCPUCores is the paper's "CPU usage": time-averaged
+	// max(provisioned, busy) cores.
+	MeanCPUCores float64
+	MaxCPUCores  float64
+	// MeanBusyCores is the raw kernel.all.cpu.user average.
+	MeanBusyCores float64
+	// MeanMemGB / MaxMemGB are resident memory (mem.util.used).
+	MeanMemGB float64
+	MaxMemGB  float64
+
+	ColdStarts  int64
+	Requests    int64
+	Failures    int64
+	ScaleStalls int64
+	Wall        time.Duration
+}
+
+// gb converts bytes to GiB.
+func gb(b float64) float64 { return b / float64(int64(1)<<30) }
+
+// RunWorkflow executes one experiment: the workflow under the paradigm,
+// on a fresh paper-testbed cluster, fully sampled.
+func RunWorkflow(ctx context.Context, spec Spec, w *wfformat.Workflow, tn Tunables) (*Measurement, error) {
+	if tn.TimeScale <= 0 {
+		return nil, fmt.Errorf("experiments: TimeScale must be positive")
+	}
+	cfg, err := SessionConfig(spec, tn)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	m := &Measurement{
+		Paradigm: spec.ID,
+		Workflow: w.Name,
+		Tasks:    w.Len(),
+	}
+	if err := sess.StartSampling(); err != nil {
+		return nil, err
+	}
+	res, runErr := sess.Run(ctx, w)
+	sess.StopSampling()
+
+	if p := sess.Knative(); p != nil {
+		m.ColdStarts = p.ColdStarts()
+		m.Requests = p.Requests()
+		m.Failures = p.Failures()
+		m.ScaleStalls = p.ScaleStalls()
+	} else if rt := sess.LocalRuntime(); rt != nil {
+		m.Requests = rt.Requests()
+		m.Failures = rt.Failures()
+	}
+	if runErr != nil {
+		return m, fmt.Errorf("experiments: %s on %s: %w", w.Name, spec.ID, runErr)
+	}
+
+	sampler := sess.Sampler()
+	m.MakespanS = res.Makespan
+	m.Wall = res.Wall
+	m.MeanPowerW = sampler.MeanOf(metrics.MetricPower)
+	m.EnergyJ = sampler.SeriesFor(metrics.MetricPower).Integral() / tn.TimeScale
+	m.MeanCPUCores = sampler.MeanOf("cpu.usage.cores")
+	m.MaxCPUCores = sampler.MaxOf("cpu.usage.cores")
+	m.MeanBusyCores = sampler.MeanOf(metrics.MetricCPUUser)
+	m.MeanMemGB = gb(sampler.MeanOf(metrics.MetricMemUsed))
+	m.MaxMemGB = gb(sampler.MaxOf(metrics.MetricMemUsed))
+	return m, nil
+}

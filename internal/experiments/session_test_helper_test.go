@@ -1,0 +1,9 @@
+package experiments
+
+import "wfserverless/internal/core"
+
+// newSessionForTest exposes core session construction to integration
+// tests that need to override the engine.
+func newSessionForTest(cfg core.SessionConfig) (*core.Session, error) {
+	return core.NewSession(cfg)
+}

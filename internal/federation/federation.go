@@ -1,0 +1,197 @@
+// Package federation implements the paper's future-work "multi-cluster
+// invocation scenarios" (Section VII): a router that fronts several
+// serverless platforms — each with its own cluster and shared drive
+// namespace is NOT assumed; members must share the drive — and spreads
+// function invocations across them. The workflow manager targets the
+// router exactly like a single platform, because the router speaks the
+// same POST /<service>/wfbench protocol.
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfserverless/internal/serverless"
+	"wfserverless/internal/wfbench"
+)
+
+// Policy selects how invocations are spread across member clusters.
+type Policy string
+
+// Policies.
+const (
+	// RoundRobin cycles through members.
+	RoundRobin Policy = "round-robin"
+	// LeastQueued picks the member with the shortest ingress queue,
+	// spilling load toward idle clusters.
+	LeastQueued Policy = "least-queued"
+)
+
+// Member is one federated cluster's platform.
+type Member struct {
+	Name     string
+	Platform *serverless.Platform
+}
+
+// Router is the multi-cluster front end.
+type Router struct {
+	policy  Policy
+	members []Member
+
+	mu       sync.Mutex
+	server   *http.Server
+	listener net.Listener
+	url      string
+	stopped  bool
+
+	rr     atomic.Int64
+	counts []atomic.Int64
+}
+
+// New returns a router over the members. Members must already be
+// started; the router does not manage their lifecycle.
+func New(policy Policy, members ...Member) (*Router, error) {
+	if len(members) == 0 {
+		return nil, errors.New("federation: need at least one member")
+	}
+	switch policy {
+	case RoundRobin, LeastQueued:
+	default:
+		return nil, fmt.Errorf("federation: unknown policy %q", policy)
+	}
+	seen := make(map[string]bool)
+	for _, m := range members {
+		if m.Name == "" || m.Platform == nil {
+			return nil, errors.New("federation: member needs name and platform")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("federation: duplicate member %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return &Router{
+		policy:  policy,
+		members: members,
+		counts:  make([]atomic.Int64, len(members)),
+	}, nil
+}
+
+// Start binds the router's HTTP endpoint.
+func (r *Router) Start() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.listener != nil {
+		return "", errors.New("federation: already started")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	r.listener = ln
+	r.url = "http://" + ln.Addr().String()
+	r.server = &http.Server{Handler: r}
+	go r.server.Serve(ln)
+	return r.url, nil
+}
+
+// URL returns the router endpoint ("" before Start).
+func (r *Router) URL() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.url
+}
+
+// Stop closes the router endpoint (members keep running).
+func (r *Router) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	if r.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		r.server.Shutdown(ctx)
+	}
+}
+
+// Members returns the member list.
+func (r *Router) Members() []Member { return r.members }
+
+// Sent returns how many invocations each member received, in member
+// order.
+func (r *Router) Sent() []int64 {
+	out := make([]int64, len(r.counts))
+	for i := range r.counts {
+		out[i] = r.counts[i].Load()
+	}
+	return out
+}
+
+// pick selects the member index for the next invocation.
+func (r *Router) pick() int {
+	switch r.policy {
+	case LeastQueued:
+		best, bestQ := 0, int(^uint(0)>>1)
+		for i, m := range r.members {
+			// queue depth plus live pods' spare capacity would be
+			// ideal; queue depth alone captures pressure.
+			if q := m.Platform.QueueDepth(); q < bestQ {
+				best, bestQ = i, q
+			}
+		}
+		return best
+	default: // RoundRobin
+		return int(r.rr.Add(1)-1) % len(r.members)
+	}
+}
+
+// Invoke routes one function invocation to a member cluster.
+func (r *Router) Invoke(ctx context.Context, service string, req *wfbench.Request) (*wfbench.Response, error) {
+	i := r.pick()
+	r.counts[i].Add(1)
+	return r.members[i].Platform.Invoke(ctx, service, req)
+}
+
+// ServeHTTP implements the platform ingress protocol.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path == "/healthz" {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	parts := strings.Split(strings.Trim(req.URL.Path, "/"), "/")
+	if len(parts) != 2 || parts[1] != "wfbench" || req.Method != http.MethodPost {
+		http.NotFound(w, req)
+		return
+	}
+	var breq wfbench.Request
+	if err := json.NewDecoder(req.Body).Decode(&breq); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := breq.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := r.Invoke(req.Context(), parts[0], &breq)
+	status := http.StatusOK
+	if err != nil {
+		if resp == nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSampleOnce(b *testing.B) {
+	s := NewSampler(time.Second)
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		s.Register(name, func() float64 { return 1 })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleOnce(time.Duration(i))
+	}
+}
+
+func BenchmarkSeriesStats(b *testing.B) {
+	ser := &Series{}
+	for i := 0; i < 10000; i++ {
+		ser.Times = append(ser.Times, time.Duration(i)*time.Second)
+		ser.Values = append(ser.Values, float64(i%97))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ser.Mean()
+		_ = ser.Max()
+		_ = ser.Integral()
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package model
+
+// raceTimeFactor stretches validation time scales under the race
+// detector, whose overhead inflates measured makespans.
+const raceTimeFactor = 5.0

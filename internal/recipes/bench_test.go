@@ -1,0 +1,34 @@
+package recipes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGenerateBlast1000(b *testing.B) {
+	r, _ := ForName("blast")
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Generate(1000, rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateEpigenomics1000(b *testing.B) {
+	r, _ := ForName("epigenomics")
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Generate(1000, rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateAllRecipes250(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range All() {
+			if _, err := r.Generate(250, rand.New(rand.NewSource(1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

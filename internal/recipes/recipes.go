@@ -1,0 +1,518 @@
+// Package recipes is the WfChef equivalent of this reproduction: it holds
+// structural recipes for the seven HPC scientific workflows the paper
+// generates with WfCommons — Blast, BWA, Cycles, Epigenomics, Genomes
+// (1000Genome), Seismology, and Srasearch — and instantiates synthetic
+// workflow instances of a requested size that preserve each application's
+// published DAG shape (fan-out density, phase count, and function-type
+// mix, the three facets of the paper's Figure 3).
+//
+// The paper splits the applications into two behavioural groups
+// (Section V-D): group 1 (Blast, BWA, Genomes, Seismology, Srasearch) is
+// dominated by one dense phase of identical functions invoked
+// simultaneously; group 2 (Cycles, Epigenomics) has many phases with a
+// broader diversity of function types. The recipes reproduce exactly
+// that distinction.
+package recipes
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"wfserverless/internal/wfformat"
+)
+
+// Profile carries the per-category execution parameters a generated task
+// receives: the WfBench knobs (percent-cpu, cpu-work), its memory ballast
+// and its output size. CPUWork of 100 corresponds to one nominal second
+// of single-core busy work at 100% duty (before experiment time scaling).
+type Profile struct {
+	PercentCPU float64
+	CPUWork    float64
+	OutBytes   int64
+	MemBytes   int64
+}
+
+// Recipe generates instances of one application's workflow type.
+type Recipe interface {
+	// Name is the registry key, e.g. "blast".
+	Name() string
+	// DisplayName is the paper's label, e.g. "Blast".
+	DisplayName() string
+	// Group returns 1 or 2 per the paper's behavioural grouping.
+	Group() int
+	// MinTasks is the smallest instantiable workflow.
+	MinTasks() int
+	// Generate builds a workflow with at least numTasks tasks (recipes
+	// with structural granularity may exceed the request by a few
+	// tasks, as WfChef does). The rng drives size jitter only; the DAG
+	// shape is deterministic in numTasks.
+	Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error)
+}
+
+// registry of all recipes, keyed by Name.
+var registry = map[string]Recipe{}
+
+func register(r Recipe) { registry[r.Name()] = r }
+
+func init() {
+	register(blastRecipe{})
+	register(bwaRecipe{})
+	register(cyclesRecipe{})
+	register(epigenomicsRecipe{})
+	register(genomesRecipe{})
+	register(seismologyRecipe{})
+	register(srasearchRecipe{})
+}
+
+// Names returns the registered recipe names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForName returns the recipe registered under name.
+func ForName(name string) (Recipe, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("recipes: unknown recipe %q (have %v)", name, Names())
+	}
+	return r, nil
+}
+
+// All returns every registered recipe, sorted by name.
+func All() []Recipe {
+	out := make([]Recipe, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// builder assembles a workflow from category-profiled tasks.
+type builder struct {
+	w        *wfformat.Workflow
+	rng      *rand.Rand
+	profiles map[string]Profile
+	next     int
+}
+
+func newBuilder(name string, rng *rand.Rand, profiles map[string]Profile) *builder {
+	w := wfformat.New(name)
+	w.CreatedAt = time.Unix(0, 0).UTC().Format(time.RFC3339)
+	return &builder{w: w, rng: rng, profiles: profiles, next: 1}
+}
+
+// jitter scales v by a uniform factor in [0.8, 1.2].
+func (b *builder) jitter(v float64) float64 {
+	return v * (0.8 + 0.4*b.rng.Float64())
+}
+
+// task appends one task of the given category whose inputs are all output
+// files of its parents (or a synthetic external input for roots), and
+// links it to them. It panics on internal inconsistencies, which the
+// recipe tests would catch immediately.
+func (b *builder) task(category string, parents ...string) string {
+	p, ok := b.profiles[category]
+	if !ok {
+		panic(fmt.Sprintf("recipes: no profile for category %q", category))
+	}
+	name := fmt.Sprintf("%s_%08d", category, b.next)
+	b.next++
+	var inputs []string
+	var files []wfformat.File
+	if len(parents) == 0 {
+		in := name + "_input.txt"
+		inputs = append(inputs, in)
+		files = append(files, wfformat.File{Link: wfformat.LinkInput, Name: in, SizeInBytes: int64(b.jitter(float64(p.OutBytes)))})
+	}
+	for _, parent := range parents {
+		pt := b.w.Tasks[parent]
+		if pt == nil {
+			panic(fmt.Sprintf("recipes: unknown parent %q", parent))
+		}
+		for _, f := range pt.Files {
+			if f.Link == wfformat.LinkOutput {
+				inputs = append(inputs, f.Name)
+				files = append(files, wfformat.File{Link: wfformat.LinkInput, Name: f.Name, SizeInBytes: f.SizeInBytes})
+			}
+		}
+	}
+	outName := name + "_output.txt"
+	outSize := int64(b.jitter(float64(p.OutBytes)))
+	files = append(files, wfformat.File{Link: wfformat.LinkOutput, Name: outName, SizeInBytes: outSize})
+	cpuWork := b.jitter(p.CPUWork)
+	t := &wfformat.Task{
+		Name:     name,
+		Type:     wfformat.TypeCompute,
+		Cores:    1,
+		ID:       fmt.Sprintf("%08d", b.next-1),
+		Category: category,
+		Command: wfformat.Command{
+			Program: "wfbench",
+			Arguments: []wfformat.Argument{{
+				Name:       name,
+				PercentCPU: p.PercentCPU,
+				CPUWork:    cpuWork,
+				MemBytes:   p.MemBytes,
+				Out:        map[string]int64{outName: outSize},
+				Inputs:     inputs,
+			}},
+		},
+		Files:            files,
+		RuntimeInSeconds: cpuWork / 100,
+	}
+	if err := b.w.AddTask(t); err != nil {
+		panic(err)
+	}
+	for _, parent := range parents {
+		if err := b.w.Link(parent, name); err != nil {
+			panic(err)
+		}
+	}
+	return name
+}
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// ---------------------------------------------------------------------
+// Blast: split_fasta -> N x blastall -> {cat_blast, cat}
+// One very dense middle phase of identical functions (group 1).
+// ---------------------------------------------------------------------
+
+type blastRecipe struct{}
+
+func (blastRecipe) Name() string        { return "blast" }
+func (blastRecipe) DisplayName() string { return "Blast" }
+func (blastRecipe) Group() int          { return 1 }
+func (blastRecipe) MinTasks() int       { return 4 }
+
+var blastProfiles = map[string]Profile{
+	"split_fasta": {PercentCPU: 0.6, CPUWork: 80, OutBytes: 200 * kb, MemBytes: 64 * mb},
+	"blastall":    {PercentCPU: 0.9, CPUWork: 100, OutBytes: 40 * kb, MemBytes: 128 * mb},
+	"cat_blast":   {PercentCPU: 0.5, CPUWork: 60, OutBytes: 400 * kb, MemBytes: 64 * mb},
+	"cat":         {PercentCPU: 0.5, CPUWork: 40, OutBytes: 400 * kb, MemBytes: 32 * mb},
+}
+
+func (r blastRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: blast needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	b := newBuilder("Blast", rng, blastProfiles)
+	split := b.task("split_fasta")
+	n := numTasks - 3
+	blasts := make([]string, n)
+	for i := range blasts {
+		blasts[i] = b.task("blastall", split)
+	}
+	b.task("cat_blast", blasts...)
+	b.task("cat", blasts...)
+	return b.w, nil
+}
+
+// ---------------------------------------------------------------------
+// BWA: bwa_index + fastq_reduce -> N x bwa -> cat_bwa -> cat
+// Dense alignment phase (group 1).
+// ---------------------------------------------------------------------
+
+type bwaRecipe struct{}
+
+func (bwaRecipe) Name() string        { return "bwa" }
+func (bwaRecipe) DisplayName() string { return "BWA" }
+func (bwaRecipe) Group() int          { return 1 }
+func (bwaRecipe) MinTasks() int       { return 5 }
+
+var bwaProfiles = map[string]Profile{
+	"bwa_index":    {PercentCPU: 0.8, CPUWork: 90, OutBytes: 3 * mb, MemBytes: 256 * mb},
+	"fastq_reduce": {PercentCPU: 0.5, CPUWork: 70, OutBytes: 500 * kb, MemBytes: 64 * mb},
+	"bwa":          {PercentCPU: 0.9, CPUWork: 110, OutBytes: 100 * kb, MemBytes: 192 * mb},
+	"cat_bwa":      {PercentCPU: 0.5, CPUWork: 50, OutBytes: 1 * mb, MemBytes: 64 * mb},
+	"cat":          {PercentCPU: 0.5, CPUWork: 40, OutBytes: 1 * mb, MemBytes: 32 * mb},
+}
+
+func (r bwaRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: bwa needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	b := newBuilder("BWA", rng, bwaProfiles)
+	index := b.task("bwa_index")
+	reduce := b.task("fastq_reduce")
+	n := numTasks - 4
+	aligns := make([]string, n)
+	for i := range aligns {
+		aligns[i] = b.task("bwa", index, reduce)
+	}
+	merge := b.task("cat_bwa", aligns...)
+	b.task("cat", merge)
+	return b.w, nil
+}
+
+// ---------------------------------------------------------------------
+// Cycles (agroecosystem): S sequential crop seasons, each
+// baseline_cycles -> F x cycles_fertilizer_increase -> fi_output_parser
+// -> output_summary, where a season's summary seeds the next season's
+// baseline (multi-year rotation), joined by a final cycles_plots. Many
+// phases with diverse function types and moderate widths (group 2).
+// ---------------------------------------------------------------------
+
+type cyclesRecipe struct{}
+
+func (cyclesRecipe) Name() string        { return "cycles" }
+func (cyclesRecipe) DisplayName() string { return "Cycles" }
+func (cyclesRecipe) Group() int          { return 2 }
+func (cyclesRecipe) MinTasks() int       { return 5 }
+
+var cyclesProfiles = map[string]Profile{
+	"baseline_cycles":            {PercentCPU: 0.8, CPUWork: 90, OutBytes: 150 * kb, MemBytes: 96 * mb},
+	"cycles_fertilizer_increase": {PercentCPU: 0.9, CPUWork: 100, OutBytes: 100 * kb, MemBytes: 96 * mb},
+	"cycles_fi_output_parser":    {PercentCPU: 0.4, CPUWork: 40, OutBytes: 50 * kb, MemBytes: 48 * mb},
+	"cycles_output_summary":      {PercentCPU: 0.4, CPUWork: 40, OutBytes: 50 * kb, MemBytes: 48 * mb},
+	"cycles_plots":               {PercentCPU: 0.6, CPUWork: 70, OutBytes: 300 * kb, MemBytes: 128 * mb},
+}
+
+func (r cyclesRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: cycles needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	// total = 1 (plots) + sum over seasons of (F_s + 3); F_s >= 1.
+	seasons := (numTasks - 1) / 24
+	if seasons < 2 {
+		seasons = 2
+	}
+	budget := numTasks - 1 - 3*seasons // sum of F_s
+	for budget < seasons {             // too many seasons for the budget
+		seasons--
+		budget = numTasks - 1 - 3*seasons
+	}
+	if seasons < 1 {
+		seasons = 1
+		budget = numTasks - 4
+	}
+	b := newBuilder("Cycles", rng, cyclesProfiles)
+	var summaries []string
+	prevSummary := ""
+	for s := 0; s < seasons; s++ {
+		f := budget / (seasons - s)
+		budget -= f
+		var base string
+		if prevSummary == "" {
+			base = b.task("baseline_cycles")
+		} else {
+			base = b.task("baseline_cycles", prevSummary)
+		}
+		ferts := make([]string, f)
+		for i := range ferts {
+			ferts[i] = b.task("cycles_fertilizer_increase", base)
+		}
+		parser := b.task("cycles_fi_output_parser", ferts...)
+		prevSummary = b.task("cycles_output_summary", parser)
+		summaries = append(summaries, prevSummary)
+	}
+	b.task("cycles_plots", summaries...)
+	return b.w, nil
+}
+
+// ---------------------------------------------------------------------
+// Epigenomics: L sequencing lanes, each a pipeline of equal-width
+// chains fastq_split -> W x (filter_contams -> sol2sanger -> fastq2bfq
+// -> map) -> map_merge, joined by chr21 -> maq_index -> pileup.
+// Long multi-phase pipeline (group 2).
+// ---------------------------------------------------------------------
+
+type epigenomicsRecipe struct{}
+
+func (epigenomicsRecipe) Name() string        { return "epigenomics" }
+func (epigenomicsRecipe) DisplayName() string { return "Epigenomics" }
+func (epigenomicsRecipe) Group() int          { return 2 }
+func (epigenomicsRecipe) MinTasks() int       { return 9 }
+
+var epigenomicsProfiles = map[string]Profile{
+	"fastq_split":    {PercentCPU: 0.5, CPUWork: 60, OutBytes: 300 * kb, MemBytes: 64 * mb},
+	"filter_contams": {PercentCPU: 0.7, CPUWork: 80, OutBytes: 250 * kb, MemBytes: 96 * mb},
+	"sol2sanger":     {PercentCPU: 0.6, CPUWork: 60, OutBytes: 250 * kb, MemBytes: 64 * mb},
+	"fastq2bfq":      {PercentCPU: 0.6, CPUWork: 60, OutBytes: 200 * kb, MemBytes: 64 * mb},
+	"map":            {PercentCPU: 0.9, CPUWork: 120, OutBytes: 150 * kb, MemBytes: 192 * mb},
+	"map_merge":      {PercentCPU: 0.5, CPUWork: 50, OutBytes: 500 * kb, MemBytes: 96 * mb},
+	"chr21":          {PercentCPU: 0.6, CPUWork: 60, OutBytes: 200 * kb, MemBytes: 64 * mb},
+	"maq_index":      {PercentCPU: 0.7, CPUWork: 70, OutBytes: 200 * kb, MemBytes: 96 * mb},
+	"pileup":         {PercentCPU: 0.7, CPUWork: 80, OutBytes: 400 * kb, MemBytes: 96 * mb},
+}
+
+func (r epigenomicsRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: epigenomics needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	// total = 3 (chr21, maq_index, pileup) + sum over lanes of (4*W_l + 2).
+	lanes := (numTasks - 3) / 26
+	if lanes < 1 {
+		lanes = 1
+	}
+	// Choose per-lane widths to reach at least numTasks (may overshoot
+	// by up to 3 tasks, matching WfChef's approximate sizing).
+	budget := numTasks - 3 - 2*lanes // tasks available for chains, 4 per chain
+	for budget < 4*lanes {           // each lane needs at least one chain
+		lanes--
+		budget = numTasks - 3 - 2*lanes
+	}
+	b := newBuilder("Epigenomics", rng, epigenomicsProfiles)
+	var merges []string
+	remaining := budget
+	for l := 0; l < lanes; l++ {
+		w := remaining / 4 / (lanes - l)
+		if l == lanes-1 {
+			w = (remaining + 3) / 4 // round up on the last lane
+		}
+		if w < 1 {
+			w = 1
+		}
+		remaining -= w * 4
+		split := b.task("fastq_split")
+		maps := make([]string, w)
+		for i := 0; i < w; i++ {
+			fc := b.task("filter_contams", split)
+			ss := b.task("sol2sanger", fc)
+			fb := b.task("fastq2bfq", ss)
+			maps[i] = b.task("map", fb)
+		}
+		merges = append(merges, b.task("map_merge", maps...))
+	}
+	chr := b.task("chr21", merges...)
+	idx := b.task("maq_index", chr)
+	b.task("pileup", idx)
+	return b.w, nil
+}
+
+// ---------------------------------------------------------------------
+// Genomes (1000Genome): per chromosome, N x individuals ->
+// individuals_merge, plus an independent sifting root; mutation_overlap
+// and frequency per population consume merge+sifting. Wide phases
+// (group 1).
+// ---------------------------------------------------------------------
+
+type genomesRecipe struct{}
+
+func (genomesRecipe) Name() string        { return "genomes" }
+func (genomesRecipe) DisplayName() string { return "Genomes" }
+func (genomesRecipe) Group() int          { return 1 }
+func (genomesRecipe) MinTasks() int       { return 7 }
+
+var genomesProfiles = map[string]Profile{
+	"individuals":       {PercentCPU: 0.9, CPUWork: 100, OutBytes: 200 * kb, MemBytes: 128 * mb},
+	"individuals_merge": {PercentCPU: 0.6, CPUWork: 60, OutBytes: 800 * kb, MemBytes: 128 * mb},
+	"sifting":           {PercentCPU: 0.7, CPUWork: 70, OutBytes: 100 * kb, MemBytes: 64 * mb},
+	"mutation_overlap":  {PercentCPU: 0.8, CPUWork: 90, OutBytes: 150 * kb, MemBytes: 96 * mb},
+	"frequency":         {PercentCPU: 0.8, CPUWork: 90, OutBytes: 150 * kb, MemBytes: 96 * mb},
+}
+
+func (r genomesRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: genomes needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	const pops = 2 // populations analysed per chromosome
+	// per chromosome: N_c individuals + merge + sifting + 2*pops
+	chroms := numTasks / 40
+	if chroms < 1 {
+		chroms = 1
+	}
+	budget := numTasks - chroms*(2+2*pops) // sum of N_c
+	for budget < chroms {
+		chroms--
+		budget = numTasks - chroms*(2+2*pops)
+	}
+	b := newBuilder("Genomes", rng, genomesProfiles)
+	for c := 0; c < chroms; c++ {
+		n := budget / (chroms - c)
+		budget -= n
+		inds := make([]string, n)
+		for i := range inds {
+			inds[i] = b.task("individuals")
+		}
+		merge := b.task("individuals_merge", inds...)
+		sift := b.task("sifting")
+		for p := 0; p < pops; p++ {
+			b.task("mutation_overlap", merge, sift)
+			b.task("frequency", merge, sift)
+		}
+	}
+	return b.w, nil
+}
+
+// ---------------------------------------------------------------------
+// Seismology: N x sg1_iter_decon -> wrapper_sift_stf_by_misfit.
+// The densest two-phase structure (group 1).
+// ---------------------------------------------------------------------
+
+type seismologyRecipe struct{}
+
+func (seismologyRecipe) Name() string        { return "seismology" }
+func (seismologyRecipe) DisplayName() string { return "Seismology" }
+func (seismologyRecipe) Group() int          { return 1 }
+func (seismologyRecipe) MinTasks() int       { return 2 }
+
+var seismologyProfiles = map[string]Profile{
+	"sg1_iter_decon":             {PercentCPU: 0.9, CPUWork: 100, OutBytes: 50 * kb, MemBytes: 96 * mb},
+	"wrapper_sift_stf_by_misfit": {PercentCPU: 0.6, CPUWork: 60, OutBytes: 300 * kb, MemBytes: 64 * mb},
+}
+
+func (r seismologyRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: seismology needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	b := newBuilder("Seismology", rng, seismologyProfiles)
+	decons := make([]string, numTasks-1)
+	for i := range decons {
+		decons[i] = b.task("sg1_iter_decon")
+	}
+	b.task("wrapper_sift_stf_by_misfit", decons...)
+	return b.w, nil
+}
+
+// ---------------------------------------------------------------------
+// Srasearch: bowtie2_build + N x (prefetch -> fasterq_dump -> bowtie2)
+// -> merge, with up to two extra index-only bowtie2 tasks to hit the
+// requested size exactly. Parallel chains (group 1).
+// ---------------------------------------------------------------------
+
+type srasearchRecipe struct{}
+
+func (srasearchRecipe) Name() string        { return "srasearch" }
+func (srasearchRecipe) DisplayName() string { return "Srasearch" }
+func (srasearchRecipe) Group() int          { return 1 }
+func (srasearchRecipe) MinTasks() int       { return 5 }
+
+var srasearchProfiles = map[string]Profile{
+	"bowtie2_build": {PercentCPU: 0.8, CPUWork: 90, OutBytes: 2 * mb, MemBytes: 256 * mb},
+	"prefetch":      {PercentCPU: 0.3, CPUWork: 40, OutBytes: 500 * kb, MemBytes: 64 * mb},
+	"fasterq_dump":  {PercentCPU: 0.5, CPUWork: 60, OutBytes: 800 * kb, MemBytes: 96 * mb},
+	"bowtie2":       {PercentCPU: 0.9, CPUWork: 110, OutBytes: 200 * kb, MemBytes: 192 * mb},
+	"merge":         {PercentCPU: 0.5, CPUWork: 50, OutBytes: 1 * mb, MemBytes: 64 * mb},
+}
+
+func (r srasearchRecipe) Generate(numTasks int, rng *rand.Rand) (*wfformat.Workflow, error) {
+	if numTasks < r.MinTasks() {
+		return nil, fmt.Errorf("recipes: srasearch needs >= %d tasks, got %d", r.MinTasks(), numTasks)
+	}
+	b := newBuilder("Srasearch", rng, srasearchProfiles)
+	build := b.task("bowtie2_build")
+	n := (numTasks - 2) / 3
+	extra := (numTasks - 2) % 3 // index-only bowtie2 tasks
+	var aligns []string
+	for i := 0; i < n; i++ {
+		pf := b.task("prefetch")
+		fd := b.task("fasterq_dump", pf)
+		aligns = append(aligns, b.task("bowtie2", fd, build))
+	}
+	for i := 0; i < extra; i++ {
+		aligns = append(aligns, b.task("bowtie2", build))
+	}
+	b.task("merge", aligns...)
+	return b.w, nil
+}

@@ -1,0 +1,111 @@
+package serverless
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/sharedfs"
+)
+
+// TestDeleteServiceMidBurst injects a control-plane failure: the service
+// is deleted while a burst is in flight. In-flight work may finish or
+// fail, but the platform must not deadlock, leak reservations, or panic,
+// and post-delete invocations must be rejected.
+func TestDeleteServiceMidBurst(t *testing.T) {
+	c := cluster.PaperTestbed()
+	opts := fastOpts(c, sharedfs.NewMem())
+	p := startPlatform(t, opts)
+	if err := p.Apply(ServiceConfig{Name: "s", Workers: 2, CPURequestPerWorker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var completed, failed atomic.Int64
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if _, err := p.Invoke(ctx, "s", benchReq(fmt.Sprintf("c%d", i), 300)); err != nil {
+				failed.Add(1)
+			} else {
+				completed.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	p.Delete("s")
+	wg.Wait()
+	if completed.Load()+failed.Load() != 20 {
+		t.Fatalf("lost invocations: completed=%d failed=%d", completed.Load(), failed.Load())
+	}
+	// All resources eventually returned.
+	waitUntil(t, 2*time.Second, func() bool {
+		u := c.Snapshot()
+		return u.ReservedCores == 0 && u.UsedMem == 0
+	}, "delete leaked resources")
+	// New invocations are rejected.
+	if _, err := p.Invoke(context.Background(), "s", benchReq("late", 1)); err == nil {
+		t.Fatal("deleted service accepted work")
+	}
+}
+
+// TestStopWithInflightWork stops the whole platform under load.
+func TestStopWithInflightWork(t *testing.T) {
+	c := cluster.PaperTestbed()
+	p := startPlatform(t, fastOpts(c, sharedfs.NewMem()))
+	if err := p.Apply(ServiceConfig{Name: "s", Workers: 1, CPURequestPerWorker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			p.Invoke(ctx, "s", benchReq(fmt.Sprintf("x%d", i), 500))
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	p.Stop()
+	wg.Wait() // must not hang
+	waitUntil(t, 2*time.Second, func() bool {
+		return c.Snapshot().ReservedCores == 0
+	}, "stop leaked reservations")
+}
+
+// TestScaleDownDoesNotDropQueuedWork reaps pods aggressively while work
+// keeps arriving; every request must still complete.
+func TestScaleDownDoesNotDropQueuedWork(t *testing.T) {
+	c := cluster.PaperTestbed()
+	opts := fastOpts(c, sharedfs.NewMem())
+	opts.StableWindow = 1 // reap after 2ms idle
+	p := startPlatform(t, opts)
+	if err := p.Apply(ServiceConfig{Name: "s", Workers: 1, CPURequestPerWorker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(r, i int) {
+				defer wg.Done()
+				if _, err := p.Invoke(context.Background(), "s", benchReq(fmt.Sprintf("r%d_%d", r, i), 50)); err != nil {
+					t.Errorf("round %d invoke %d: %v", r, i, err)
+				}
+			}(round, i)
+		}
+		wg.Wait()
+		// idle long enough for the reaper to bite between rounds
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.Failures() != 0 {
+		t.Fatalf("failures = %d", p.Failures())
+	}
+}

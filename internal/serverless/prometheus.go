@@ -1,0 +1,52 @@
+package serverless
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMetrics emits the platform's operational counters in Prometheus
+// text exposition format at GET /metrics — the monitoring surface a
+// production deployment of the platform would scrape alongside the
+// PCP-style resource sampler.
+func (p *Platform) WriteMetrics(w io.Writer) error {
+	st := p.Stats()
+	write := func(name, help string, v float64) error {
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		return err
+	}
+	if err := write("wfserverless_pods", "live pods across all services", float64(st.Pods)); err != nil {
+		return err
+	}
+	if err := write("wfserverless_queue_depth", "queued invocations", float64(st.QueueDepth)); err != nil {
+		return err
+	}
+	if err := write("wfserverless_cold_starts_total", "cumulative pod cold starts", float64(st.ColdStarts)); err != nil {
+		return err
+	}
+	if err := write("wfserverless_requests_total", "cumulative invocations", float64(st.Requests)); err != nil {
+		return err
+	}
+	if err := write("wfserverless_failures_total", "cumulative failed invocations", float64(st.Failures)); err != nil {
+		return err
+	}
+	if err := write("wfserverless_scale_stalls_total", "autoscaler ticks blocked on resources", float64(st.ScaleStalls)); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(st.Services))
+	for n := range st.Services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ss := st.Services[n]
+		if _, err := fmt.Fprintf(w, "wfserverless_service_pods{service=%q} %d\n", n, ss.Pods); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "wfserverless_service_inflight{service=%q} %d\n", n, ss.Inflight); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,738 @@
+// Package serverless implements the serverless platform of the
+// reproduction: a Knative-equivalent that accepts function invocations as
+// HTTP requests at an ingress, routes them to pods of a named service,
+// and manages the pod fleet with a concurrency-based autoscaler
+// supporting scale-to-zero, cold starts, per-pod worker pools
+// (containerConcurrency), and per-pod resource requests enforced against
+// the cluster substrate.
+//
+// The mechanisms that drive the paper's results are all here:
+//
+//   - a burst of invocations queues at the ingress while the autoscaler
+//     adds pods, each paying a cold-start latency — group-1 workflows get
+//     slower on serverless;
+//   - pods exist only while demand exists (stable-window scale-down, then
+//     scale-to-zero), so the time-averaged CPU reservation and resident
+//     memory are far below an always-on container fleet — the paper's
+//     78%/74% CPU/memory reductions;
+//   - when pod reservations exhaust the cluster, scale-up stalls and
+//     requests wait — the paper's "memory and CPU limits being reached"
+//     failure mode for large fine-grained workflows.
+package serverless
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfbench"
+)
+
+// ServiceConfig is the Knative Service manifest equivalent.
+type ServiceConfig struct {
+	// Name routes requests: POST <ingress>/<Name>/wfbench.
+	Name string
+	// Workers is the per-pod worker pool size (gunicorn --workers, the
+	// paper's 1w/10w/1000w knob) and the autoscaler's per-pod
+	// concurrency target.
+	Workers int
+	// CPURequestPerWorker and MemRequestPerWorker size the pod's
+	// resource reservation: a pod reserves Workers x per-worker amounts.
+	CPURequestPerWorker float64
+	MemRequestPerWorker int64
+	// MinScale/MaxScale bound the pod count. MaxScale 0 means unbounded
+	// (the cluster's capacity is the only limit).
+	MinScale int
+	MaxScale int
+	// KeepMem is the paper's persistent-memory (PM) knob: workers keep
+	// their WfBench ballast between invocations.
+	KeepMem bool
+}
+
+func (c *ServiceConfig) validate() error {
+	if c.Name == "" {
+		return errors.New("serverless: service needs a name")
+	}
+	if strings.ContainsAny(c.Name, "/ ") {
+		return fmt.Errorf("serverless: invalid service name %q", c.Name)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("serverless: service %s needs >= 1 worker", c.Name)
+	}
+	if c.MinScale < 0 || c.MaxScale < 0 || (c.MaxScale > 0 && c.MinScale > c.MaxScale) {
+		return fmt.Errorf("serverless: service %s has invalid scale bounds [%d,%d]", c.Name, c.MinScale, c.MaxScale)
+	}
+	if c.CPURequestPerWorker < 0 || c.MemRequestPerWorker < 0 {
+		return fmt.Errorf("serverless: service %s has negative resource requests", c.Name)
+	}
+	return nil
+}
+
+// Options configures the platform.
+type Options struct {
+	// Cluster provides nodes; required.
+	Cluster *cluster.Cluster
+	// Drive is the shared drive; required.
+	Drive sharedfs.Drive
+	// TimeScale converts nominal paper seconds to wall time for every
+	// latency below and for WfBench runs. Zero defaults to 1.
+	TimeScale float64
+	// Engine runs the WfBench stress phase; nil means SimEngine.
+	Engine wfbench.Engine
+	// ColdStart is the nominal pod startup latency (paper seconds).
+	// Zero means instant starts (the coarse-grained scenario).
+	ColdStart float64
+	// AutoscalePeriod is the nominal autoscaler tick (paper seconds);
+	// zero defaults to 2s.
+	AutoscalePeriod float64
+	// StableWindow is how long (paper seconds) a pod must sit idle
+	// beyond the desired count before it is reclaimed; zero defaults
+	// to 30s.
+	StableWindow float64
+	// PodOverheadMem is resident memory per pod (runtime + queue
+	// proxy); WorkerOverheadMem is resident memory per pre-forked
+	// worker. Both persist for the pod's lifetime.
+	PodOverheadMem    int64
+	WorkerOverheadMem int64
+	// PodOverheadCPU is the small constant busy-CPU of a live pod's
+	// sidecars.
+	PodOverheadCPU float64
+	// InputWait is how long (paper seconds) a WfBench invocation polls
+	// for its input files; zero defaults to 5s.
+	InputWait float64
+	// QueueCapacity bounds the per-service ingress queue; zero
+	// defaults to 16384.
+	QueueCapacity int
+	// InstantScaleUp disables the KPA-style doubling ramp and jumps
+	// straight to the desired pod count each tick — an ablation knob
+	// for quantifying how much of the serverless slowdown the gradual
+	// ramp contributes.
+	InstantScaleUp bool
+	// Placer selects nodes for pod reservations; nil means first fit.
+	Placer cluster.Placer
+}
+
+func (o *Options) applyDefaults() error {
+	if o.Cluster == nil || o.Drive == nil {
+		return errors.New("serverless: Options need Cluster and Drive")
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	if o.TimeScale < 0 {
+		return fmt.Errorf("serverless: negative TimeScale")
+	}
+	if o.Engine == nil {
+		o.Engine = wfbench.SimEngine{}
+	}
+	if o.AutoscalePeriod == 0 {
+		o.AutoscalePeriod = 2
+	}
+	if o.StableWindow == 0 {
+		o.StableWindow = 30
+	}
+	if o.InputWait == 0 {
+		o.InputWait = 5
+	}
+	if o.QueueCapacity == 0 {
+		o.QueueCapacity = 16384
+	}
+	return nil
+}
+
+func (o *Options) scaled(nominalSeconds float64) time.Duration {
+	return time.Duration(nominalSeconds * o.TimeScale * float64(time.Second))
+}
+
+// invocation is one in-flight function request.
+type invocation struct {
+	req    *wfbench.Request
+	respCh chan invocationResult
+}
+
+type invocationResult struct {
+	resp *wfbench.Response
+	err  error
+}
+
+// Platform is the serverless platform. Create with New, then Start to
+// listen on the loopback ingress, Apply services, and Stop when done.
+type Platform struct {
+	opts Options
+
+	mu       sync.Mutex
+	services map[string]*service
+	server   *http.Server
+	listener net.Listener
+	url      string
+	stopCh   chan struct{}
+	stopped  bool
+	asWG     sync.WaitGroup
+
+	requests   atomic.Int64
+	coldStarts atomic.Int64
+	failures   atomic.Int64
+	// scaleStalls counts autoscaler ticks where a needed pod could not
+	// be placed for lack of cluster resources.
+	scaleStalls atomic.Int64
+}
+
+// New returns an unstarted platform.
+func New(opts Options) (*Platform, error) {
+	if err := opts.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Platform{
+		opts:     opts,
+		services: make(map[string]*service),
+		stopCh:   make(chan struct{}),
+	}, nil
+}
+
+// Start binds the ingress to a loopback port and launches the autoscaler.
+// It returns the ingress base URL.
+func (p *Platform) Start() (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.listener != nil {
+		return "", errors.New("serverless: already started")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("serverless: ingress listen: %w", err)
+	}
+	p.listener = ln
+	p.url = "http://" + ln.Addr().String()
+	p.server = &http.Server{Handler: p}
+	go p.server.Serve(ln)
+
+	p.asWG.Add(1)
+	go p.autoscaleLoop()
+	return p.url, nil
+}
+
+// URL returns the ingress base URL ("" before Start).
+func (p *Platform) URL() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.url
+}
+
+// Stop tears down all services, the autoscaler, and the ingress.
+func (p *Platform) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	close(p.stopCh)
+	server := p.server
+	svcs := make([]*service, 0, len(p.services))
+	for _, s := range p.services {
+		svcs = append(svcs, s)
+	}
+	p.services = make(map[string]*service)
+	p.mu.Unlock()
+
+	p.asWG.Wait()
+	for _, s := range svcs {
+		s.shutdown()
+	}
+	if server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		server.Shutdown(ctx)
+	}
+}
+
+// Apply creates or replaces a service, starting MinScale pods
+// immediately (replacement tears down the old incarnation first).
+func (p *Platform) Apply(cfg ServiceConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return errors.New("serverless: platform stopped")
+	}
+	old := p.services[cfg.Name]
+	svc := newService(p, cfg)
+	p.services[cfg.Name] = svc
+	p.mu.Unlock()
+	if old != nil {
+		old.shutdown()
+	}
+	for i := 0; i < cfg.MinScale; i++ {
+		if err := svc.addPod(); err != nil {
+			return fmt.Errorf("serverless: service %s min-scale: %w", cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// Delete removes a service and reclaims its pods.
+func (p *Platform) Delete(name string) {
+	p.mu.Lock()
+	svc := p.services[name]
+	delete(p.services, name)
+	p.mu.Unlock()
+	if svc != nil {
+		svc.shutdown()
+	}
+}
+
+func (p *Platform) serviceList() []*service {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*service, 0, len(p.services))
+	names := make([]string, 0, len(p.services))
+	for n := range p.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, p.services[n])
+	}
+	return out
+}
+
+// Pods returns the number of live pods across all services.
+func (p *Platform) Pods() int {
+	n := 0
+	for _, s := range p.serviceList() {
+		n += s.podCount()
+	}
+	return n
+}
+
+// QueueDepth returns the total queued (not yet executing) invocations.
+func (p *Platform) QueueDepth() int {
+	n := 0
+	for _, s := range p.serviceList() {
+		n += len(s.queue)
+	}
+	return n
+}
+
+// ColdStarts returns the cumulative pod cold starts.
+func (p *Platform) ColdStarts() int64 { return p.coldStarts.Load() }
+
+// Requests returns the cumulative invocation count.
+func (p *Platform) Requests() int64 { return p.requests.Load() }
+
+// Failures returns the cumulative failed invocations.
+func (p *Platform) Failures() int64 { return p.failures.Load() }
+
+// ScaleStalls returns autoscaler ticks that could not place a needed pod.
+func (p *Platform) ScaleStalls() int64 { return p.scaleStalls.Load() }
+
+// Invoke executes one function on the named service, bypassing HTTP.
+// The ingress handler and in-process callers share this path.
+func (p *Platform) Invoke(ctx context.Context, serviceName string, req *wfbench.Request) (*wfbench.Response, error) {
+	p.mu.Lock()
+	svc := p.services[serviceName]
+	p.mu.Unlock()
+	if svc == nil {
+		return nil, fmt.Errorf("serverless: no such service %q", serviceName)
+	}
+	p.requests.Add(1)
+	inv := &invocation{req: req, respCh: make(chan invocationResult, 1)}
+	svc.inflight.Add(1)
+	defer svc.inflight.Add(-1)
+	select {
+	case svc.queue <- inv:
+	case <-ctx.Done():
+		p.failures.Add(1)
+		return nil, fmt.Errorf("serverless: %s: queue full: %w", serviceName, ctx.Err())
+	case <-p.stopCh:
+		p.failures.Add(1)
+		return nil, errors.New("serverless: platform stopped")
+	}
+	select {
+	case r := <-inv.respCh:
+		if r.err != nil {
+			p.failures.Add(1)
+		}
+		return r.resp, r.err
+	case <-ctx.Done():
+		p.failures.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// Stats is the operational snapshot served at GET /stats.
+type Stats struct {
+	Pods        int                     `json:"pods"`
+	QueueDepth  int                     `json:"queueDepth"`
+	ColdStarts  int64                   `json:"coldStarts"`
+	Requests    int64                   `json:"requests"`
+	Failures    int64                   `json:"failures"`
+	ScaleStalls int64                   `json:"scaleStalls"`
+	Services    map[string]ServiceStats `json:"services"`
+}
+
+// ServiceStats is the per-service portion of Stats.
+type ServiceStats struct {
+	Pods     int   `json:"pods"`
+	Queued   int   `json:"queued"`
+	Inflight int64 `json:"inflight"`
+}
+
+// Stats returns the platform's operational snapshot.
+func (p *Platform) Stats() Stats {
+	st := Stats{
+		ColdStarts:  p.coldStarts.Load(),
+		Requests:    p.requests.Load(),
+		Failures:    p.failures.Load(),
+		ScaleStalls: p.scaleStalls.Load(),
+		Services:    make(map[string]ServiceStats),
+	}
+	for _, svc := range p.serviceList() {
+		ss := ServiceStats{
+			Pods:     svc.podCount(),
+			Queued:   len(svc.queue),
+			Inflight: svc.inflight.Load(),
+		}
+		st.Services[svc.cfg.Name] = ss
+		st.Pods += ss.Pods
+		st.QueueDepth += ss.Queued
+	}
+	return st
+}
+
+// ServeHTTP routes POST /<service>/wfbench, GET /stats, GET /healthz.
+func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	if r.URL.Path == "/stats" && r.Method == http.MethodGet {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.Stats())
+		return
+	}
+	if r.URL.Path == "/metrics" && r.Method == http.MethodGet {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p.WriteMetrics(w)
+		return
+	}
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) != 2 || parts[1] != "wfbench" || r.Method != http.MethodPost {
+		http.NotFound(w, r)
+		return
+	}
+	var req wfbench.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := p.Invoke(r.Context(), parts[0], &req)
+	status := http.StatusOK
+	if err != nil {
+		if resp == nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// autoscaleLoop evaluates every service each tick: the desired pod count
+// is ceil(inflight / workers) clamped to the scale bounds (the KPA's
+// concurrency-per-pod rule), scaling up immediately and scaling down
+// pods that sat idle for a stable window.
+func (p *Platform) autoscaleLoop() {
+	defer p.asWG.Done()
+	ticker := time.NewTicker(p.opts.scaled(p.opts.AutoscalePeriod))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-ticker.C:
+			for _, svc := range p.serviceList() {
+				p.autoscale(svc)
+			}
+		}
+	}
+}
+
+func (p *Platform) autoscale(svc *service) {
+	inflight := int(svc.inflight.Load())
+	desired := (inflight + svc.cfg.Workers - 1) / svc.cfg.Workers
+	if desired < svc.cfg.MinScale {
+		desired = svc.cfg.MinScale
+	}
+	if svc.cfg.MaxScale > 0 && desired > svc.cfg.MaxScale {
+		desired = svc.cfg.MaxScale
+	}
+	cur := svc.podCount()
+	if cur < desired {
+		// Ramp up by at most doubling per tick (one pod from zero),
+		// the KPA-style gradual scale-up. This is why fewer, larger
+		// pods (10w) reach a burst's demand in fewer ticks than many
+		// 1-worker pods — the paper's Figure 4 observation.
+		allowed := cur
+		if allowed < 1 {
+			allowed = 1
+		}
+		target := cur + allowed
+		if target > desired || p.opts.InstantScaleUp {
+			target = desired
+		}
+		for cur < target {
+			if err := svc.addPod(); err != nil {
+				p.scaleStalls.Add(1)
+				break // resource pressure: retry next tick
+			}
+			cur++
+		}
+	}
+	if cur > desired {
+		svc.reapIdle(cur-desired, p.opts.scaled(p.opts.StableWindow))
+	}
+}
+
+// service is the runtime state of one applied ServiceConfig.
+type service struct {
+	p        *Platform
+	cfg      ServiceConfig
+	queue    chan *invocation
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	pods    []*pod
+	nextPod int
+	dead    bool
+}
+
+func newService(p *Platform, cfg ServiceConfig) *service {
+	return &service{
+		p:     p,
+		cfg:   cfg,
+		queue: make(chan *invocation, p.opts.QueueCapacity),
+	}
+}
+
+func (s *service) podCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pods)
+}
+
+// addPod reserves resources, then brings a pod up after the cold-start
+// latency.
+func (s *service) addPod() error {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return errors.New("serverless: service deleted")
+	}
+	id := s.nextPod
+	s.nextPod++
+	s.mu.Unlock()
+
+	cores := float64(s.cfg.Workers) * s.cfg.CPURequestPerWorker
+	mem := int64(s.cfg.Workers)*s.cfg.MemRequestPerWorker + s.p.opts.PodOverheadMem
+	res, err := s.p.opts.Cluster.PlaceWith(s.p.opts.Placer, cores, mem)
+	if err != nil {
+		return err
+	}
+	pd, err := newPod(s, id, res)
+	if err != nil {
+		res.Release()
+		return err
+	}
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		pd.stop()
+		return errors.New("serverless: service deleted")
+	}
+	s.pods = append(s.pods, pd)
+	s.mu.Unlock()
+	s.p.coldStarts.Add(1)
+	pd.start(s.p.opts.scaled(s.p.opts.ColdStart))
+	return nil
+}
+
+// reapIdle terminates up to n pods that have been idle longer than the
+// stable window.
+func (s *service) reapIdle(n int, window time.Duration) {
+	now := time.Now()
+	var victims []*pod
+	s.mu.Lock()
+	keep := s.pods[:0]
+	for _, pd := range s.pods {
+		if len(victims) < n && pd.idleSince(now) > window {
+			victims = append(victims, pd)
+		} else {
+			keep = append(keep, pd)
+		}
+	}
+	s.pods = keep
+	s.mu.Unlock()
+	for _, pd := range victims {
+		pd.stop()
+	}
+}
+
+// shutdown stops all pods and marks the service dead.
+func (s *service) shutdown() {
+	s.mu.Lock()
+	s.dead = true
+	pods := s.pods
+	s.pods = nil
+	s.mu.Unlock()
+	for _, pd := range pods {
+		pd.stop()
+	}
+}
+
+// pod is one scheduled replica: a resource reservation plus a pool of
+// worker goroutines pulling invocations from the service queue.
+type pod struct {
+	svc  *service
+	name string
+	res  *cluster.Reservation
+
+	bench   *wfbench.Bench
+	workers []*wfbench.Worker
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	active     atomic.Int64
+	lastActive atomic.Int64 // UnixNano
+
+	releaseOverheadMem func()
+	releaseOverheadCPU func()
+}
+
+func newPod(s *service, id int, res *cluster.Reservation) (*pod, error) {
+	opts := s.p.opts
+	bench, err := wfbench.New(wfbench.Config{
+		Drive:     opts.Drive,
+		Engine:    opts.Engine,
+		Usage:     res.Node(),
+		TimeScale: opts.TimeScale,
+		InputWait: opts.scaled(opts.InputWait),
+		KeepMem:   s.cfg.KeepMem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pd := &pod{
+		svc:    s,
+		name:   fmt.Sprintf("%s-pod-%05d", s.cfg.Name, id),
+		res:    res,
+		bench:  bench,
+		stopCh: make(chan struct{}),
+	}
+	pd.lastActive.Store(time.Now().UnixNano())
+	for i := 0; i < s.cfg.Workers; i++ {
+		pd.workers = append(pd.workers, bench.NewWorker())
+	}
+	return pd, nil
+}
+
+// start sleeps through the cold start, registers the pod's resident
+// overheads, and launches the worker loops.
+func (pd *pod) start(coldStart time.Duration) {
+	pd.wg.Add(1)
+	go func() {
+		defer pd.wg.Done()
+		if coldStart > 0 {
+			t := time.NewTimer(coldStart)
+			defer t.Stop()
+			select {
+			case <-pd.stopCh:
+				return
+			case <-t.C:
+			}
+		}
+		node := pd.res.Node()
+		opts := pd.svc.p.opts
+		mem := opts.PodOverheadMem + int64(len(pd.workers))*opts.WorkerOverheadMem
+		if mem > 0 {
+			pd.releaseOverheadMem = node.AddMem(mem)
+		}
+		if opts.PodOverheadCPU > 0 {
+			pd.releaseOverheadCPU = node.AddBusy(opts.PodOverheadCPU)
+		}
+		for _, w := range pd.workers {
+			pd.wg.Add(1)
+			go pd.workerLoop(w)
+		}
+	}()
+}
+
+func (pd *pod) workerLoop(w *wfbench.Worker) {
+	defer pd.wg.Done()
+	for {
+		select {
+		case <-pd.stopCh:
+			return
+		case inv := <-pd.svc.queue:
+			pd.active.Add(1)
+			resp, err := w.Execute(context.Background(), inv.req)
+			if resp != nil {
+				resp.Pod = pd.name
+			}
+			pd.active.Add(-1)
+			pd.lastActive.Store(time.Now().UnixNano())
+			inv.respCh <- invocationResult{resp: resp, err: err}
+		}
+	}
+}
+
+// idleSince returns how long the pod has been idle, or 0 if it has
+// active work.
+func (pd *pod) idleSince(now time.Time) time.Duration {
+	if pd.active.Load() > 0 {
+		return 0
+	}
+	return now.Sub(time.Unix(0, pd.lastActive.Load()))
+}
+
+// stop terminates the pod: workers drain, overheads and ballast are
+// released, and the reservation returns to the node. Runs asynchronously
+// with respect to in-flight work; safe to call multiple times.
+func (pd *pod) stop() {
+	pd.stopOnce.Do(func() {
+		close(pd.stopCh)
+		go func() {
+			pd.wg.Wait()
+			for _, w := range pd.workers {
+				w.Close()
+			}
+			if pd.releaseOverheadMem != nil {
+				pd.releaseOverheadMem()
+			}
+			if pd.releaseOverheadCPU != nil {
+				pd.releaseOverheadCPU()
+			}
+			pd.res.Release()
+		}()
+	})
+}

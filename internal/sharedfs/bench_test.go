@@ -1,0 +1,33 @@
+package sharedfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMemWriteStat(b *testing.B) {
+	d := NewMem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("f%d", i%1024)
+		if err := d.WriteFile(name, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Stat(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemConcurrent(b *testing.B) {
+	d := NewMem()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			name := fmt.Sprintf("f%d", i%512)
+			d.WriteFile(name, int64(i))
+			d.Exists(name)
+			i++
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package sharedfs
+
+import (
+	"time"
+)
+
+// RemoteDrive wraps a Drive with network costs — per-operation latency
+// and write/read bandwidth — modeling the externally hosted distributed
+// data storage the paper plans to study ("we intend to investigate the
+// impacts of using external distributed data storage for managing
+// scientific workflows", Section VII). Metadata operations pay latency;
+// data operations additionally pay size/bandwidth.
+type RemoteDrive struct {
+	inner Drive
+	// Latency is the per-operation round trip (already scaled to wall
+	// time by the caller).
+	Latency time.Duration
+	// BytesPerSec is the transfer bandwidth; zero means infinite.
+	BytesPerSec float64
+}
+
+// NewRemote wraps inner with the given network costs.
+func NewRemote(inner Drive, latency time.Duration, bytesPerSec float64) *RemoteDrive {
+	return &RemoteDrive{inner: inner, Latency: latency, BytesPerSec: bytesPerSec}
+}
+
+func (d *RemoteDrive) pay(bytes int64) {
+	cost := d.Latency
+	if d.BytesPerSec > 0 && bytes > 0 {
+		cost += time.Duration(float64(bytes) / d.BytesPerSec * float64(time.Second))
+	}
+	if cost > 0 {
+		time.Sleep(cost)
+	}
+}
+
+// WriteFile implements Drive, paying latency plus transfer time.
+func (d *RemoteDrive) WriteFile(name string, size int64) error {
+	d.pay(size)
+	return d.inner.WriteFile(name, size)
+}
+
+// Stat implements Drive, paying one round trip.
+func (d *RemoteDrive) Stat(name string) (int64, error) {
+	d.pay(0)
+	return d.inner.Stat(name)
+}
+
+// Exists implements Drive, paying one round trip.
+func (d *RemoteDrive) Exists(name string) bool {
+	d.pay(0)
+	return d.inner.Exists(name)
+}
+
+// List implements Drive, paying one round trip.
+func (d *RemoteDrive) List() []string {
+	d.pay(0)
+	return d.inner.List()
+}
+
+// Remove implements Drive, paying one round trip.
+func (d *RemoteDrive) Remove(name string) error {
+	d.pay(0)
+	return d.inner.Remove(name)
+}
+
+// TotalBytes implements Drive without network cost (an accounting view).
+func (d *RemoteDrive) TotalBytes() int64 { return d.inner.TotalBytes() }

@@ -1,0 +1,65 @@
+package sharedfs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRemoteDriveForwardsOperations(t *testing.T) {
+	inner := NewMem()
+	d := NewRemote(inner, 0, 0)
+	if err := d.WriteFile("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Exists("a") || !inner.Exists("a") {
+		t.Fatal("write not forwarded")
+	}
+	size, err := d.Stat("a")
+	if err != nil || size != 100 {
+		t.Fatalf("Stat = %d, %v", size, err)
+	}
+	if got := d.List(); len(got) != 1 {
+		t.Fatalf("List = %v", got)
+	}
+	if got := d.TotalBytes(); got != 100 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	if err := d.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("a") {
+		t.Fatal("remove not forwarded")
+	}
+}
+
+func TestRemoteDriveLatency(t *testing.T) {
+	d := NewRemote(NewMem(), 10*time.Millisecond, 0)
+	start := time.Now()
+	d.Exists("x")
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("metadata op took %v, want >= latency", elapsed)
+	}
+}
+
+func TestRemoteDriveBandwidth(t *testing.T) {
+	// 1 MB at 100 MB/s = 10ms transfer.
+	d := NewRemote(NewMem(), 0, 100<<20)
+	start := time.Now()
+	if err := d.WriteFile("big", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 8*time.Millisecond {
+		t.Fatalf("1MB write took %v, want ~10ms at 100MB/s", elapsed)
+	}
+	// Metadata-only op pays no transfer.
+	start = time.Now()
+	d.Exists("big")
+	if time.Since(start) > 5*time.Millisecond {
+		t.Fatal("metadata op paid bandwidth cost")
+	}
+}
+
+func TestRemoteDriveSatisfiesDrive(t *testing.T) {
+	var _ Drive = NewRemote(NewMem(), 0, 0)
+}

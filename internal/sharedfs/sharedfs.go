@@ -1,0 +1,293 @@
+// Package sharedfs implements the shared drive the paper's framework
+// assumes: "all machines in the cluster have access to a common shared
+// directory for storing I/O", so every function can write to and read
+// from the same place and inter-function communication is guaranteed.
+//
+// Two backends are provided. MemDrive keeps only file metadata (name and
+// size) in memory and is used by the experiment harness, where thousands
+// of sized files are produced. DiskDrive writes real files under a
+// directory and is used by the standalone WfBench service and the
+// integration tests, matching the paper's NFS mount.
+package sharedfs
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Drive is the shared storage every workflow function reads inputs from
+// and writes outputs to.
+type Drive interface {
+	// WriteFile creates (or replaces) a file of the given size.
+	WriteFile(name string, size int64) error
+	// Stat returns the size of name, or an error satisfying
+	// errors.Is(err, fs.ErrNotExist) if absent.
+	Stat(name string) (int64, error)
+	// Exists reports whether name is present.
+	Exists(name string) bool
+	// List returns all file names, sorted.
+	List() []string
+	// Remove deletes name if present; removing an absent file is not an
+	// error, mirroring idempotent cleanup.
+	Remove(name string) error
+	// TotalBytes returns the sum of all file sizes.
+	TotalBytes() int64
+}
+
+// ErrNotExist is returned (wrapped) when a file is absent.
+var ErrNotExist = fs.ErrNotExist
+
+// MemDrive is an in-memory Drive safe for concurrent use.
+type MemDrive struct {
+	mu    sync.RWMutex
+	files map[string]int64
+}
+
+// NewMem returns an empty in-memory drive.
+func NewMem() *MemDrive {
+	return &MemDrive{files: make(map[string]int64)}
+}
+
+// WriteFile implements Drive.
+func (d *MemDrive) WriteFile(name string, size int64) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("sharedfs: negative size %d for %q", size, name)
+	}
+	d.mu.Lock()
+	d.files[name] = size
+	d.mu.Unlock()
+	return nil
+}
+
+// Stat implements Drive.
+func (d *MemDrive) Stat(name string) (int64, error) {
+	d.mu.RLock()
+	size, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("sharedfs: %q: %w", name, ErrNotExist)
+	}
+	return size, nil
+}
+
+// Exists implements Drive.
+func (d *MemDrive) Exists(name string) bool {
+	d.mu.RLock()
+	_, ok := d.files[name]
+	d.mu.RUnlock()
+	return ok
+}
+
+// List implements Drive.
+func (d *MemDrive) List() []string {
+	d.mu.RLock()
+	out := make([]string, 0, len(d.files))
+	for n := range d.files {
+		out = append(out, n)
+	}
+	d.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Remove implements Drive.
+func (d *MemDrive) Remove(name string) error {
+	d.mu.Lock()
+	delete(d.files, name)
+	d.mu.Unlock()
+	return nil
+}
+
+// TotalBytes implements Drive.
+func (d *MemDrive) TotalBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	for _, s := range d.files {
+		total += s
+	}
+	return total
+}
+
+// DiskDrive stores files under a root directory. File contents are a
+// repeating pattern of the requested size, so consumers can verify both
+// presence and byte count like the paper's wfbench does.
+type DiskDrive struct {
+	root string
+	mu   sync.Mutex // serializes directory-level operations
+}
+
+// NewDisk returns a drive rooted at dir, creating it if needed.
+func NewDisk(dir string) (*DiskDrive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sharedfs: %w", err)
+	}
+	return &DiskDrive{root: dir}, nil
+}
+
+// Root returns the backing directory.
+func (d *DiskDrive) Root() string { return d.root }
+
+func (d *DiskDrive) path(name string) (string, error) {
+	if err := checkName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(d.root, name), nil
+}
+
+// WriteFile implements Drive. Contents are written in bounded chunks so
+// large declared sizes do not allocate proportional memory.
+func (d *DiskDrive) WriteFile(name string, size int64) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("sharedfs: negative size %d for %q", size, name)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	const chunkSize = 64 << 10
+	chunk := make([]byte, chunkSize)
+	for i := range chunk {
+		chunk[i] = byte('a' + i%26)
+	}
+	remaining := size
+	for remaining > 0 {
+		n := int64(len(chunk))
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := f.Write(chunk[:n]); err != nil {
+			f.Close()
+			return err
+		}
+		remaining -= n
+	}
+	return f.Close()
+}
+
+// Stat implements Drive.
+func (d *DiskDrive) Stat(name string) (int64, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err // wraps fs.ErrNotExist already
+	}
+	return fi.Size(), nil
+}
+
+// Exists implements Drive.
+func (d *DiskDrive) Exists(name string) bool {
+	_, err := d.Stat(name)
+	return err == nil
+}
+
+// List implements Drive.
+func (d *DiskDrive) List() []string {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove implements Drive.
+func (d *DiskDrive) Remove(name string) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// TotalBytes implements Drive.
+func (d *DiskDrive) TotalBytes() int64 {
+	var total int64
+	for _, n := range d.List() {
+		if s, err := d.Stat(n); err == nil {
+			total += s
+		}
+	}
+	return total
+}
+
+// checkName rejects names that would escape the drive.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("sharedfs: empty file name")
+	}
+	if strings.Contains(name, "/") || strings.Contains(name, "\\") || name == "." || name == ".." {
+		return fmt.Errorf("sharedfs: invalid file name %q", name)
+	}
+	return nil
+}
+
+// WaitFor polls the drive until every name exists or ctx is done. This is
+// the workflow manager's "check whether the required input files are
+// available on the shared drive" step. It returns the names still missing
+// when the context expires.
+func WaitFor(ctx context.Context, d Drive, names []string, poll time.Duration) (missing []string, err error) {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	for {
+		missing = missing[:0]
+		for _, n := range names {
+			if !d.Exists(n) {
+				missing = append(missing, n)
+			}
+		}
+		if len(missing) == 0 {
+			return nil, nil
+		}
+		select {
+		case <-ctx.Done():
+			sort.Strings(missing)
+			return missing, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Stage writes every listed file onto the drive — used to place a
+// workflow's external inputs before execution.
+func Stage(d Drive, files map[string]int64) error {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := d.WriteFile(n, files[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package sharedfs
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// drives returns one of each backend for table-driven tests.
+func drives(t *testing.T) map[string]Drive {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Drive{"mem": NewMem(), "disk": disk}
+}
+
+func TestWriteStat(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := d.WriteFile("a.txt", 1234); err != nil {
+				t.Fatal(err)
+			}
+			size, err := d.Stat("a.txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != 1234 {
+				t.Fatalf("size = %d, want 1234", size)
+			}
+		})
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			_, err := d.Stat("missing")
+			if !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("err = %v, want fs.ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestExistsRemove(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			d.WriteFile("x", 10)
+			if !d.Exists("x") {
+				t.Fatal("x should exist")
+			}
+			if err := d.Remove("x"); err != nil {
+				t.Fatal(err)
+			}
+			if d.Exists("x") {
+				t.Fatal("x should be gone")
+			}
+			// idempotent remove
+			if err := d.Remove("x"); err != nil {
+				t.Fatalf("second remove: %v", err)
+			}
+		})
+	}
+}
+
+func TestListSortedAndTotal(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			d.WriteFile("b", 2)
+			d.WriteFile("a", 1)
+			d.WriteFile("c", 3)
+			if got := d.List(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+				t.Fatalf("List = %v", got)
+			}
+			if got := d.TotalBytes(); got != 6 {
+				t.Fatalf("TotalBytes = %d", got)
+			}
+		})
+	}
+}
+
+func TestOverwriteReplacesSize(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			d.WriteFile("f", 100)
+			d.WriteFile("f", 7)
+			size, _ := d.Stat("f")
+			if size != 7 {
+				t.Fatalf("size = %d after overwrite, want 7", size)
+			}
+		})
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, bad := range []string{"", "a/b", "..", ".", `a\b`} {
+				if err := d.WriteFile(bad, 1); err == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}
+		})
+	}
+}
+
+func TestNegativeSize(t *testing.T) {
+	for name, d := range drives(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := d.WriteFile("n", -1); err == nil {
+				t.Fatal("negative size accepted")
+			}
+		})
+	}
+}
+
+func TestDiskFileHasRealBytes(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// larger than one write chunk to exercise the chunk loop
+	const size = 100 << 10
+	if err := d.WriteFile("big.bin", size); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Stat("big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != size {
+		t.Fatalf("on-disk size = %d, want %d", got, size)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	d := NewMem()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i%26))
+			for j := 0; j < 100; j++ {
+				d.WriteFile(name, int64(j))
+				d.Exists(name)
+				d.TotalBytes()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(d.List()) == 0 {
+		t.Fatal("no files after concurrent writes")
+	}
+}
+
+func TestWaitForImmediate(t *testing.T) {
+	d := NewMem()
+	d.WriteFile("a", 1)
+	missing, err := WaitFor(context.Background(), d, []string{"a"}, time.Millisecond)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("missing=%v err=%v", missing, err)
+	}
+}
+
+func TestWaitForEventuallyAppears(t *testing.T) {
+	d := NewMem()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		d.WriteFile("late", 1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	missing, err := WaitFor(ctx, d, []string{"late"}, time.Millisecond)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("missing=%v err=%v", missing, err)
+	}
+}
+
+func TestWaitForTimeoutReportsMissing(t *testing.T) {
+	d := NewMem()
+	d.WriteFile("have", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	missing, err := WaitFor(ctx, d, []string{"have", "z", "a"}, time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !reflect.DeepEqual(missing, []string{"a", "z"}) {
+		t.Fatalf("missing = %v, want [a z]", missing)
+	}
+}
+
+func TestStage(t *testing.T) {
+	d := NewMem()
+	err := Stage(d, map[string]int64{"in1": 10, "in2": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TotalBytes(); got != 30 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestStageBadName(t *testing.T) {
+	d := NewMem()
+	if err := Stage(d, map[string]int64{"ok": 1, "bad/name": 2}); err == nil {
+		t.Fatal("bad name accepted by Stage")
+	}
+}
+
+func TestQuickMemTotalMatchesSum(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		d := NewMem()
+		var want int64
+		for i, s := range sizes {
+			name := "f" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+			if d.Exists(name) {
+				old, _ := d.Stat(name)
+				want -= old
+			}
+			d.WriteFile(name, int64(s))
+			want += int64(s)
+		}
+		return d.TotalBytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package translator
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wfserverless/internal/wfformat"
+)
+
+func TestServerlessWorkflowOutput(t *testing.T) {
+	w := sampleWorkflow(t)
+	out, err := ServerlessWorkflow(w, ServerlessWorkflowOptions{
+		OperationURL: "http://ingress/wfbench/wfbench",
+		Workdir:      "shared",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc["specVersion"] != "0.8" || doc["start"] != "phase-0" {
+		t.Fatalf("doc header: %v %v", doc["specVersion"], doc["start"])
+	}
+	states := doc["states"].([]interface{})
+	phases, _ := w.Phases()
+	if len(states) != len(phases) {
+		t.Fatalf("states = %d, want %d phases", len(states), len(phases))
+	}
+	// Every task appears as a branch exactly once.
+	branchCount := 0
+	for _, st := range states {
+		m := st.(map[string]interface{})
+		if m["type"] != "parallel" {
+			t.Fatalf("state type = %v", m["type"])
+		}
+		branchCount += len(m["branches"].([]interface{}))
+	}
+	if branchCount != w.Len() {
+		t.Fatalf("branches = %d, want %d", branchCount, w.Len())
+	}
+	// Last state ends; earlier states transition.
+	last := states[len(states)-1].(map[string]interface{})
+	if last["end"] != true {
+		t.Fatal("last state does not end")
+	}
+	first := states[0].(map[string]interface{})
+	if first["transition"] != "phase-1" {
+		t.Fatalf("first transition = %v", first["transition"])
+	}
+	if !strings.Contains(out, `"workdir": "shared"`) {
+		t.Fatal("workdir missing from arguments")
+	}
+}
+
+func TestServerlessWorkflowRequiresURL(t *testing.T) {
+	if _, err := ServerlessWorkflow(sampleWorkflow(t), ServerlessWorkflowOptions{}); err == nil {
+		t.Fatal("missing OperationURL accepted")
+	}
+}
+
+func TestServerlessWorkflowRejectsInvalid(t *testing.T) {
+	w := wfformat.New("bad")
+	w.AddTask(&wfformat.Task{Name: "t", Type: "weird", Cores: 1})
+	if _, err := ServerlessWorkflow(w, ServerlessWorkflowOptions{OperationURL: "http://x"}); err == nil {
+		t.Fatal("invalid workflow translated")
+	}
+}

@@ -1,0 +1,37 @@
+package wfbench
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FlakyEngine wraps an Engine and fails every Nth run — fault injection
+// for exercising the workflow manager's retry path and the platforms'
+// failure accounting without real infrastructure faults.
+type FlakyEngine struct {
+	// Inner runs the successful executions; nil means SimEngine.
+	Inner Engine
+	// FailEvery makes run number k fail when k % FailEvery == 0
+	// (1-indexed). Zero disables injection.
+	FailEvery int64
+
+	runs atomic.Int64
+}
+
+// Runs returns how many executions were attempted.
+func (e *FlakyEngine) Runs() int64 { return e.runs.Load() }
+
+// Run implements Engine.
+func (e *FlakyEngine) Run(ctx context.Context, wall time.Duration, duty float64) error {
+	n := e.runs.Add(1)
+	if e.FailEvery > 0 && n%e.FailEvery == 0 {
+		return fmt.Errorf("wfbench: injected fault on run %d", n)
+	}
+	inner := e.Inner
+	if inner == nil {
+		inner = SimEngine{}
+	}
+	return inner.Run(ctx, wall, duty)
+}

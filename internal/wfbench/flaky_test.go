@@ -1,0 +1,31 @@
+package wfbench
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFlakyEngineFailsEveryNth(t *testing.T) {
+	e := &FlakyEngine{FailEvery: 3}
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := e.Run(context.Background(), 0, 1); err != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+	if e.Runs() != 9 {
+		t.Fatalf("runs = %d", e.Runs())
+	}
+}
+
+func TestFlakyEngineDisabled(t *testing.T) {
+	e := &FlakyEngine{}
+	for i := 0; i < 5; i++ {
+		if err := e.Run(context.Background(), 0, 1); err != nil {
+			t.Fatalf("disabled injection failed: %v", err)
+		}
+	}
+}

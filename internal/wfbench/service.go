@@ -1,0 +1,103 @@
+package wfbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Service is WfBench as a Service: an HTTP handler answering
+// POST /wfbench with a Request body, backed by a bounded pool of workers
+// — the paper's "gunicorn --workers N" deployment knob. When all workers
+// are busy, additional requests block until one frees up, exactly like a
+// pre-fork worker pool with an unbounded backlog.
+type Service struct {
+	bench    *Bench
+	workers  chan *Worker
+	nWorkers int
+	requests atomic.Int64
+	active   atomic.Int64
+}
+
+// NewService returns a service with n workers over the bench.
+func NewService(b *Bench, n int) (*Service, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wfbench: service needs >= 1 worker, got %d", n)
+	}
+	s := &Service{bench: b, workers: make(chan *Worker, n), nWorkers: n}
+	for i := 0; i < n; i++ {
+		s.workers <- b.NewWorker()
+	}
+	return s, nil
+}
+
+// Workers returns the pool size.
+func (s *Service) Workers() int { return s.nWorkers }
+
+// Requests returns the number of requests served so far.
+func (s *Service) Requests() int64 { return s.requests.Load() }
+
+// Active returns the number of requests currently executing.
+func (s *Service) Active() int64 { return s.active.Load() }
+
+// Close releases persistent ballast held by all workers.
+func (s *Service) Close() {
+	for i := 0; i < s.nWorkers; i++ {
+		w := <-s.workers
+		w.Close()
+	}
+	// refill so a racing handler does not deadlock; workers are reusable
+	for i := 0; i < s.nWorkers; i++ {
+		s.workers <- s.bench.NewWorker()
+	}
+}
+
+// Execute runs one request on the next free worker, blocking until one
+// is available. It is the library-call equivalent of POST /wfbench.
+func (s *Service) Execute(req *Request) (*Response, error) {
+	return s.execute(req)
+}
+
+func (s *Service) execute(req *Request) (*Response, error) {
+	w := <-s.workers
+	s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		s.workers <- w
+	}()
+	s.requests.Add(1)
+	// Workers honour no per-request deadline: the paper configures
+	// gunicorn with --timeout 0.
+	return w.Execute(context.Background(), req)
+}
+
+// ServeHTTP implements http.Handler for POST /wfbench and GET /healthz.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/wfbench" && r.Method == http.MethodPost:
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := req.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.execute(&req)
+		status := http.StatusOK
+		if err != nil {
+			status = http.StatusInternalServerError
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(resp)
+	default:
+		http.NotFound(w, r)
+	}
+}

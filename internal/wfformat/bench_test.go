@@ -1,0 +1,88 @@
+package wfformat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bigWorkflow(b *testing.B) *Workflow {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	w := randomFanoutBench(r, 40, 30)
+	return w
+}
+
+// randomFanoutBench builds a valid layered workflow for benchmarks.
+func randomFanoutBench(r *rand.Rand, phases, width int) *Workflow {
+	w := New("bench")
+	var prev []*Task
+	id := 0
+	for p := 0; p < phases; p++ {
+		var cur []*Task
+		for i := 0; i < width; i++ {
+			id++
+			name := "t" + itoa(id)
+			out := map[string]int64{name + "_out": 100}
+			var inputs []string
+			var parent *Task
+			if len(prev) > 0 {
+				parent = prev[r.Intn(len(prev))]
+				inputs = parent.OutputFiles()
+			}
+			task := buildTask(name, "cat", inputs, out)
+			w.AddTask(task)
+			if parent != nil {
+				w.Link(parent.Name, name)
+			}
+			cur = append(cur, task)
+		}
+		prev = cur
+	}
+	return w
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func BenchmarkValidate(b *testing.B) {
+	w := bigWorkflow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalParse(b *testing.B) {
+	w := bigWorkflow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := w.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhases(b *testing.B) {
+	w := bigWorkflow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Phases(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

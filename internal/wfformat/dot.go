@@ -1,0 +1,67 @@
+package wfformat
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the workflow as a Graphviz digraph, one node per
+// function colored by category and ranked by phase — the equivalent of
+// the paper's generate_visualization.py output that composes Figure 3's
+// DAG panels.
+func (w *Workflow) ToDOT(out io.Writer) error {
+	phases, err := w.Phases()
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDOTID(w.Name))
+	fmt.Fprintf(&b, "  rankdir=TB;\n  node [shape=ellipse, style=filled, fontsize=10];\n")
+	fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", w.Name)
+	for pi, phase := range phases {
+		fmt.Fprintf(&b, "  { rank=same; // phase %d\n", pi)
+		for _, name := range phase {
+			t := w.Tasks[name]
+			fmt.Fprintf(&b, "    %q [fillcolor=%q, label=%q];\n",
+				name, categoryColor(t.Category), t.Category)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	for _, name := range w.TaskNames() {
+		children := append([]string(nil), w.Tasks[name].Children...)
+		sort.Strings(children)
+		for _, c := range children {
+			fmt.Fprintf(&b, "  %q -> %q;\n", name, c)
+		}
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err = io.WriteString(out, b.String())
+	return err
+}
+
+// dotPalette holds visually distinct pastel fills.
+var dotPalette = []string{
+	"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+	"#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+}
+
+// categoryColor deterministically assigns a palette color per category.
+func categoryColor(category string) string {
+	h := fnv.New32a()
+	h.Write([]byte(category))
+	return dotPalette[int(h.Sum32())%len(dotPalette)]
+}
+
+func sanitizeDOTID(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

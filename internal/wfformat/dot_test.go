@@ -1,0 +1,53 @@
+package wfformat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOT(t *testing.T) {
+	w := miniBlast(t)
+	var b strings.Builder
+	if err := w.ToDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph",
+		"rank=same; // phase 0",
+		"rank=same; // phase 2",
+		`"split_fasta_1" -> "blastall_1";`,
+		`"blastall_2" -> "cat_1";`,
+		"fillcolor=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestToDOTRejectsCycle(t *testing.T) {
+	w := miniBlast(t)
+	w.Link("cat_1", "split_fasta_1")
+	var b strings.Builder
+	if err := w.ToDOT(&b); err == nil {
+		t.Fatal("cyclic workflow rendered")
+	}
+}
+
+func TestCategoryColorStable(t *testing.T) {
+	a := categoryColor("blastall")
+	b := categoryColor("blastall")
+	if a != b {
+		t.Fatal("color not deterministic")
+	}
+	if !strings.HasPrefix(a, "#") {
+		t.Fatalf("color = %q", a)
+	}
+}
+
+func TestSanitizeDOTID(t *testing.T) {
+	if got := sanitizeDOTID("Blast-250 x"); got != "Blast_250_x" {
+		t.Fatalf("sanitizeDOTID = %q", got)
+	}
+}

@@ -1,0 +1,500 @@
+// Package wfformat defines the workflow description format used throughout
+// this repository. It mirrors the JSON the paper's Knative Translator
+// emits (Section III-A): a workflow is a set of named compute functions,
+// each carrying its command (the WfBench program with key-value
+// arguments), the HTTP endpoint that executes it (api_url), its parent and
+// child functions, and its input/output files with sizes in bytes.
+package wfformat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"wfserverless/internal/dag"
+)
+
+// Link direction for a file relative to its task.
+const (
+	LinkInput  = "input"
+	LinkOutput = "output"
+)
+
+// TypeCompute is the only task type the paper's workflows use.
+const TypeCompute = "compute"
+
+// File is a data product consumed or produced by a task.
+type File struct {
+	Link        string `json:"link"`
+	Name        string `json:"name"`
+	SizeInBytes int64  `json:"sizeInBytes"`
+}
+
+// Argument carries the WfBench invocation parameters of one function,
+// following the key-value structure the paper's translator introduces
+// ("the first modification converts the entry 'arguments' from a list of
+// parameters to a sub-entry with key-values").
+type Argument struct {
+	Name       string           `json:"name"`
+	PercentCPU float64          `json:"percent-cpu"`
+	CPUWork    float64          `json:"cpu-work"`
+	MemBytes   int64            `json:"mem-bytes,omitempty"`
+	Out        map[string]int64 `json:"out"`
+	Inputs     []string         `json:"inputs"`
+	Workdir    string           `json:"workdir,omitempty"`
+}
+
+// Command describes how to execute a task. APIURL is the second paper
+// modification: the HTTP request endpoint of the function on the
+// serverless platform.
+type Command struct {
+	Program   string     `json:"program"`
+	Arguments []Argument `json:"arguments"`
+	APIURL    string     `json:"api_url,omitempty"`
+}
+
+// Task is one function of a workflow.
+type Task struct {
+	Name             string   `json:"name"`
+	Type             string   `json:"type"`
+	Command          Command  `json:"command"`
+	Parents          []string `json:"parents"`
+	Children         []string `json:"children"`
+	Files            []File   `json:"files"`
+	RuntimeInSeconds float64  `json:"runtimeInSeconds"`
+	Cores            int      `json:"cores"`
+	ID               string   `json:"id"`
+	Category         string   `json:"category"`
+	StartedAt        string   `json:"startedAt,omitempty"`
+}
+
+// InputFiles returns the names of the task's input files, sorted.
+func (t *Task) InputFiles() []string { return t.filesByLink(LinkInput) }
+
+// OutputFiles returns the names of the task's output files, sorted.
+func (t *Task) OutputFiles() []string { return t.filesByLink(LinkOutput) }
+
+func (t *Task) filesByLink(link string) []string {
+	var out []string
+	for _, f := range t.Files {
+		if f.Link == link {
+			out = append(out, f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OutputSizes returns output file name -> size.
+func (t *Task) OutputSizes() map[string]int64 {
+	m := make(map[string]int64)
+	for _, f := range t.Files {
+		if f.Link == LinkOutput {
+			m[f.Name] = f.SizeInBytes
+		}
+	}
+	return m
+}
+
+// Workflow is a named DAG of tasks. Tasks are keyed by their unique name,
+// matching the paper's JSON excerpt where the top-level object maps
+// function names to function descriptions.
+type Workflow struct {
+	Name        string           `json:"name"`
+	Description string           `json:"description,omitempty"`
+	CreatedAt   string           `json:"createdAt,omitempty"`
+	Tasks       map[string]*Task `json:"tasks"`
+}
+
+// New returns an empty workflow with the given name.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, Tasks: make(map[string]*Task)}
+}
+
+// AddTask inserts t, indexed by its name. It returns an error on duplicate
+// or empty names so generator bugs surface early.
+func (w *Workflow) AddTask(t *Task) error {
+	if t.Name == "" {
+		return fmt.Errorf("wfformat: task with empty name")
+	}
+	if _, ok := w.Tasks[t.Name]; ok {
+		return fmt.Errorf("wfformat: duplicate task %q", t.Name)
+	}
+	if w.Tasks == nil {
+		w.Tasks = make(map[string]*Task)
+	}
+	w.Tasks[t.Name] = t
+	return nil
+}
+
+// Link records a parent -> child dependency on both tasks.
+func (w *Workflow) Link(parent, child string) error {
+	p, ok := w.Tasks[parent]
+	if !ok {
+		return fmt.Errorf("wfformat: link: unknown parent %q", parent)
+	}
+	c, ok := w.Tasks[child]
+	if !ok {
+		return fmt.Errorf("wfformat: link: unknown child %q", child)
+	}
+	if !contains(p.Children, child) {
+		p.Children = append(p.Children, child)
+		sort.Strings(p.Children)
+	}
+	if !contains(c.Parents, parent) {
+		c.Parents = append(c.Parents, parent)
+		sort.Strings(c.Parents)
+	}
+	return nil
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TaskNames returns all task names, sorted.
+func (w *Workflow) TaskNames() []string {
+	out := make([]string, 0, len(w.Tasks))
+	for n := range w.Tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of tasks.
+func (w *Workflow) Len() int { return len(w.Tasks) }
+
+// Graph builds the dependency DAG from the parents/children entries.
+func (w *Workflow) Graph() (*dag.Graph, error) {
+	g := dag.New()
+	for _, n := range w.TaskNames() {
+		g.AddVertex(n)
+	}
+	for _, n := range w.TaskNames() {
+		t := w.Tasks[n]
+		for _, c := range t.Children {
+			if _, ok := w.Tasks[c]; !ok {
+				return nil, fmt.Errorf("wfformat: task %q lists unknown child %q", n, c)
+			}
+			if err := g.AddEdge(n, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Phases returns the topological levels of the workflow: the "steps" of
+// the paper, where all functions in a phase are invoked simultaneously.
+func (w *Workflow) Phases() ([][]string, error) {
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return g.Levels()
+}
+
+// Categories returns category -> number of tasks, the function-type
+// composition shown in the third column of the paper's Figure 3.
+func (w *Workflow) Categories() map[string]int {
+	m := make(map[string]int)
+	for _, t := range w.Tasks {
+		m[t.Category]++
+	}
+	return m
+}
+
+// TotalDataBytes sums the sizes of all distinct files in the workflow.
+// When a file appears as both an output (at its producer) and an input (at
+// consumers), the producer's declared size is authoritative.
+func (w *Workflow) TotalDataBytes() int64 {
+	seen := make(map[string]int64)
+	isOutput := make(map[string]bool)
+	for _, t := range w.Tasks {
+		for _, f := range t.Files {
+			if f.Link == LinkOutput {
+				seen[f.Name] = f.SizeInBytes
+				isOutput[f.Name] = true
+			} else if !isOutput[f.Name] {
+				seen[f.Name] = f.SizeInBytes
+			}
+		}
+	}
+	var total int64
+	for _, sz := range seen {
+		total += sz
+	}
+	return total
+}
+
+// ValidationError aggregates all problems found by Validate.
+type ValidationError struct {
+	Problems []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("wfformat: invalid workflow: %s", strings.Join(e.Problems, "; "))
+}
+
+// Validate checks structural integrity: tasks have names and compute
+// type, parent/child references are symmetric and resolve, the DAG is
+// acyclic, and every input file is either produced by an ancestor task or
+// is an external workflow input (no parent produces it and the task is
+// allowed to read it from the shared drive as initial data).
+func (w *Workflow) Validate() error {
+	var probs []string
+	add := func(format string, args ...interface{}) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	producers := make(map[string]string) // file -> producing task
+	for _, n := range w.TaskNames() {
+		t := w.Tasks[n]
+		if t.Name != n {
+			add("task keyed %q has name %q", n, t.Name)
+		}
+		if t.Type != TypeCompute {
+			add("task %q has unsupported type %q", n, t.Type)
+		}
+		if t.Cores <= 0 {
+			add("task %q has cores %d", n, t.Cores)
+		}
+		if len(t.Command.Arguments) != 1 {
+			add("task %q has %d argument blocks, want 1", n, len(t.Command.Arguments))
+		} else {
+			a := t.Command.Arguments[0]
+			if a.Name != t.Name {
+				add("task %q argument name %q mismatch", n, a.Name)
+			}
+			if a.PercentCPU < 0 || a.PercentCPU > 1 {
+				add("task %q percent-cpu %v outside [0,1]", n, a.PercentCPU)
+			}
+			if a.CPUWork < 0 {
+				add("task %q negative cpu-work", n)
+			}
+		}
+		for _, p := range t.Parents {
+			pt, ok := w.Tasks[p]
+			if !ok {
+				add("task %q lists unknown parent %q", n, p)
+				continue
+			}
+			if !contains(pt.Children, n) {
+				add("task %q lists parent %q which does not list it as child", n, p)
+			}
+		}
+		for _, c := range t.Children {
+			ct, ok := w.Tasks[c]
+			if !ok {
+				add("task %q lists unknown child %q", n, c)
+				continue
+			}
+			if !contains(ct.Parents, n) {
+				add("task %q lists child %q which does not list it as parent", n, c)
+			}
+		}
+		for _, f := range t.Files {
+			if f.Link != LinkInput && f.Link != LinkOutput {
+				add("task %q file %q has link %q", n, f.Name, f.Link)
+			}
+			if f.SizeInBytes < 0 {
+				add("task %q file %q has negative size", n, f.Name)
+			}
+			if f.Link == LinkOutput {
+				if prev, dup := producers[f.Name]; dup && prev != n {
+					add("file %q produced by both %q and %q", f.Name, prev, n)
+				}
+				producers[f.Name] = n
+			}
+		}
+	}
+	if len(probs) == 0 {
+		g, err := w.Graph()
+		if err != nil {
+			add("%v", err)
+		} else if _, err := g.Levels(); err != nil {
+			add("%v", err)
+		} else {
+			// Every input produced by some task must come from an ancestor.
+			for _, n := range w.TaskNames() {
+				t := w.Tasks[n]
+				anc := make(map[string]bool)
+				for _, a := range g.Ancestors(n) {
+					anc[a] = true
+				}
+				for _, in := range t.InputFiles() {
+					if prod, ok := producers[in]; ok && prod != n && !anc[prod] {
+						add("task %q input %q produced by non-ancestor %q", n, in, prod)
+					}
+				}
+			}
+		}
+	}
+	if len(probs) > 0 {
+		return &ValidationError{Problems: probs}
+	}
+	return nil
+}
+
+// ExternalInputs returns the input files no task produces — the initial
+// data that must be staged onto the shared drive before execution.
+func (w *Workflow) ExternalInputs() []File {
+	produced := make(map[string]bool)
+	for _, t := range w.Tasks {
+		for _, f := range t.Files {
+			if f.Link == LinkOutput {
+				produced[f.Name] = true
+			}
+		}
+	}
+	seen := make(map[string]File)
+	for _, t := range w.Tasks {
+		for _, f := range t.Files {
+			if f.Link == LinkInput && !produced[f.Name] {
+				seen[f.Name] = f
+			}
+		}
+	}
+	out := make([]File, 0, len(seen))
+	for _, f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Marshal serializes the workflow to indented JSON.
+func (w *Workflow) Marshal() ([]byte, error) {
+	return json.MarshalIndent(w, "", "  ")
+}
+
+// Parse reads a workflow from JSON bytes.
+func Parse(data []byte) (*Workflow, error) {
+	var w Workflow
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("wfformat: parse: %w", err)
+	}
+	if w.Tasks == nil {
+		w.Tasks = make(map[string]*Task)
+	}
+	return &w, nil
+}
+
+// Read parses a workflow from r.
+func Read(r io.Reader) (*Workflow, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wfformat: read: %w", err)
+	}
+	return Parse(data)
+}
+
+// Load reads a workflow description from a JSON file.
+func Load(path string) (*Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Save writes the workflow as indented JSON to path.
+func (w *Workflow) Save(path string) error {
+	data, err := w.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Clone returns a deep copy of the workflow, so translators can annotate
+// without mutating the generator's output.
+func (w *Workflow) Clone() *Workflow {
+	n := New(w.Name)
+	n.Description = w.Description
+	n.CreatedAt = w.CreatedAt
+	for name, t := range w.Tasks {
+		c := *t
+		c.Parents = append([]string(nil), t.Parents...)
+		c.Children = append([]string(nil), t.Children...)
+		c.Files = append([]File(nil), t.Files...)
+		c.Command.Arguments = make([]Argument, len(t.Command.Arguments))
+		for i, a := range t.Command.Arguments {
+			ca := a
+			ca.Inputs = append([]string(nil), a.Inputs...)
+			ca.Out = make(map[string]int64, len(a.Out))
+			for k, v := range a.Out {
+				ca.Out[k] = v
+			}
+			c.Command.Arguments[i] = ca
+		}
+		n.Tasks[name] = &c
+	}
+	return n
+}
+
+// Stats summarizes a workflow's structure, used by Figure 3.
+type Stats struct {
+	Tasks          int
+	Edges          int
+	Phases         int
+	MaxPhaseWidth  int
+	MeanPhaseWidth float64
+	Categories     map[string]int
+	PhaseWidths    []int
+	TotalBytes     int64
+	// CriticalPathSeconds is the longest dependency chain weighted by
+	// each task's nominal runtime — the lower bound on makespan with
+	// unlimited parallelism.
+	CriticalPathSeconds float64
+	// CriticalPath lists the tasks on that chain.
+	CriticalPath []string
+}
+
+// ComputeStats derives the characterization numbers for the workflow.
+func (w *Workflow) ComputeStats() (*Stats, error) {
+	phases, err := w.Phases()
+	if err != nil {
+		return nil, err
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	s := &Stats{
+		Tasks:      w.Len(),
+		Edges:      g.EdgeCount(),
+		Phases:     len(phases),
+		Categories: w.Categories(),
+		TotalBytes: w.TotalDataBytes(),
+	}
+	for _, p := range phases {
+		s.PhaseWidths = append(s.PhaseWidths, len(p))
+		if len(p) > s.MaxPhaseWidth {
+			s.MaxPhaseWidth = len(p)
+		}
+	}
+	if len(phases) > 0 {
+		s.MeanPhaseWidth = float64(w.Len()) / float64(len(phases))
+	}
+	weights := make(map[string]float64, w.Len())
+	for name, t := range w.Tasks {
+		weights[name] = t.RuntimeInSeconds
+	}
+	path, total, err := g.CriticalPath(weights)
+	if err != nil {
+		return nil, err
+	}
+	s.CriticalPath = path
+	s.CriticalPathSeconds = total
+	return s, nil
+}

@@ -1,0 +1,122 @@
+package wfgen
+
+import (
+	"reflect"
+	"testing"
+
+	"wfserverless/internal/recipes"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	w, err := Generate(Spec{Recipe: "blast", NumTasks: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 50 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if w.Name != "BlastRecipe-100-50" {
+		t.Fatalf("Name = %q", w.Name)
+	}
+}
+
+func TestGenerateUnknownRecipe(t *testing.T) {
+	if _, err := Generate(Spec{Recipe: "nope", NumTasks: 10}); err == nil {
+		t.Fatal("unknown recipe accepted")
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := Generate(Spec{Recipe: "blast", NumTasks: 2}); err == nil {
+		t.Fatal("size below MinTasks accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Spec{Recipe: "cycles", NumTasks: 60, Seed: 42})
+	b, _ := Generate(Spec{Recipe: "cycles", NumTasks: 60, Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec+seed differ")
+	}
+	c, _ := Generate(Spec{Recipe: "cycles", NumTasks: 60, Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestCPUWorkScaling(t *testing.T) {
+	base, _ := Generate(Spec{Recipe: "blast", NumTasks: 20, Seed: 7})
+	scaled, _ := Generate(Spec{Recipe: "blast", NumTasks: 20, Seed: 7, CPUWork: 250})
+	for name, bt := range base.Tasks {
+		st := scaled.Tasks[name]
+		ratio := st.Command.Arguments[0].CPUWork / bt.Command.Arguments[0].CPUWork
+		if ratio < 2.49 || ratio > 2.51 {
+			t.Fatalf("task %s cpu-work ratio = %v, want 2.5", name, ratio)
+		}
+		if st.RuntimeInSeconds <= bt.RuntimeInSeconds {
+			t.Fatalf("runtime not rescaled for %s", name)
+		}
+	}
+	if scaled.Name != "BlastRecipe-250-20" {
+		t.Fatalf("Name = %q", scaled.Name)
+	}
+}
+
+func TestDataFactorScaling(t *testing.T) {
+	base, _ := Generate(Spec{Recipe: "bwa", NumTasks: 20, Seed: 7})
+	scaled, _ := Generate(Spec{Recipe: "bwa", NumTasks: 20, Seed: 7, DataFactor: 2})
+	if got, want := scaled.TotalDataBytes(), base.TotalDataBytes(); got < want*19/10 {
+		t.Fatalf("TotalDataBytes = %d, want ~2x %d", got, want)
+	}
+	// Out map scaled consistently with Files
+	for name, st := range scaled.Tasks {
+		bt := base.Tasks[name]
+		for k, v := range st.Command.Arguments[0].Out {
+			if v != bt.Command.Arguments[0].Out[k]*2 {
+				t.Fatalf("task %s out %s = %d, want %d", name, k, v, bt.Command.Arguments[0].Out[k]*2)
+			}
+		}
+	}
+}
+
+func TestInstanceNameUnknownRecipe(t *testing.T) {
+	s := Spec{Recipe: "mystery", NumTasks: 9, CPUWork: 250}
+	if got := s.InstanceName(); got != "mysteryRecipe-250-9" {
+		t.Fatalf("InstanceName = %q", got)
+	}
+}
+
+func TestGenerateSuiteCoversAllRecipes(t *testing.T) {
+	insts, err := GenerateSuite(SuiteSpec{Sizes: []int{20, 60}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 14 {
+		t.Fatalf("suite size = %d, want 7 recipes x 2 sizes", len(insts))
+	}
+	seen := map[string]int{}
+	for _, in := range insts {
+		seen[in.Spec.Recipe]++
+		if err := in.Workflow.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Spec.InstanceName(), err)
+		}
+	}
+	for _, r := range recipes.Names() {
+		if seen[r] != 2 {
+			t.Fatalf("recipe %s appears %d times", r, seen[r])
+		}
+	}
+}
+
+func TestGenerateSuiteClampsToMinTasks(t *testing.T) {
+	insts, err := GenerateSuite(SuiteSpec{Sizes: []int{2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		r, _ := recipes.ForName(in.Spec.Recipe)
+		if in.Workflow.Len() < r.MinTasks() {
+			t.Fatalf("%s generated below MinTasks", in.Spec.Recipe)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package wfinstances
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// seededRand derives a deterministic RNG from a seed plus labels, so
+// reference instances are stable across runs.
+func seededRand(seed int64, name string, size int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64()) ^ int64(size)<<17))
+}

@@ -1,0 +1,362 @@
+// Package wfinstances reimplements the WfInstances component of
+// WfCommons: a repository of workflow execution instances collected from
+// real runs, grouped by application domain, from which WfChef derives
+// recipes. The paper's Figure 2 shows the pipeline
+// WfInstances -> WfChef -> WfGen -> WfBench; this package provides the
+// first stage — storing, loading, filtering, and summarizing instances —
+// and the WfChef-style analysis that matches an instance to its closest
+// structural recipe.
+package wfinstances
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wfserverless/internal/recipes"
+	"wfserverless/internal/wfformat"
+)
+
+// Domain labels mirror the WfInstances GitHub classification.
+const (
+	DomainBioinformatics = "bioinformatics"
+	DomainAgroecosystems = "agroecosystems"
+	DomainSeismology     = "seismology"
+	DomainAstronomy      = "astronomy"
+	DomainOther          = "other"
+)
+
+// domainFor maps recipe names to their scientific domain.
+var domainFor = map[string]string{
+	"blast":       DomainBioinformatics,
+	"bwa":         DomainBioinformatics,
+	"epigenomics": DomainBioinformatics,
+	"genomes":     DomainBioinformatics,
+	"srasearch":   DomainBioinformatics,
+	"cycles":      DomainAgroecosystems,
+	"seismology":  DomainSeismology,
+}
+
+// Instance is one collected workflow execution.
+type Instance struct {
+	// Name identifies the instance (e.g. "blast-chameleon-250-1").
+	Name string `json:"name"`
+	// Application is the recipe/application name.
+	Application string `json:"application"`
+	// Domain is the scientific domain label.
+	Domain string `json:"domain"`
+	// Runtime system the instance was executed on (pegasus, nextflow,
+	// knative, ...).
+	RuntimeSystem string `json:"runtimeSystem,omitempty"`
+	// Workflow is the instance's task graph.
+	Workflow *wfformat.Workflow `json:"workflow"`
+}
+
+// Validate checks the instance and its embedded workflow.
+func (in *Instance) Validate() error {
+	if in.Name == "" {
+		return fmt.Errorf("wfinstances: instance missing name")
+	}
+	if in.Workflow == nil {
+		return fmt.Errorf("wfinstances: instance %q missing workflow", in.Name)
+	}
+	if err := in.Workflow.Validate(); err != nil {
+		return fmt.Errorf("wfinstances: instance %q: %w", in.Name, err)
+	}
+	return nil
+}
+
+// Repository holds instances grouped by application, the WfInstances
+// collection.
+type Repository struct {
+	byName map[string]*Instance
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{byName: make(map[string]*Instance)}
+}
+
+// Add validates and stores an instance; duplicate names are rejected.
+func (r *Repository) Add(in *Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if _, dup := r.byName[in.Name]; dup {
+		return fmt.Errorf("wfinstances: duplicate instance %q", in.Name)
+	}
+	if in.Domain == "" {
+		in.Domain = domainFor[in.Application]
+		if in.Domain == "" {
+			in.Domain = DomainOther
+		}
+	}
+	r.byName[in.Name] = in
+	return nil
+}
+
+// Len returns the number of stored instances.
+func (r *Repository) Len() int { return len(r.byName) }
+
+// Get returns the named instance, or nil.
+func (r *Repository) Get(name string) *Instance { return r.byName[name] }
+
+// Names returns all instance names, sorted.
+func (r *Repository) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByApplication returns instances of one application, sorted by name.
+func (r *Repository) ByApplication(app string) []*Instance {
+	return r.filter(func(in *Instance) bool { return in.Application == app })
+}
+
+// ByDomain returns instances of one domain, sorted by name.
+func (r *Repository) ByDomain(domain string) []*Instance {
+	return r.filter(func(in *Instance) bool { return in.Domain == domain })
+}
+
+func (r *Repository) filter(keep func(*Instance) bool) []*Instance {
+	var out []*Instance
+	for _, n := range r.Names() {
+		if in := r.byName[n]; keep(in) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Applications returns application -> instance count.
+func (r *Repository) Applications() map[string]int {
+	out := make(map[string]int)
+	for _, in := range r.byName {
+		out[in.Application]++
+	}
+	return out
+}
+
+// Save writes every instance as <dir>/<name>.json.
+func (r *Repository) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, n := range r.Names() {
+		data, err := json.MarshalIndent(r.byName[n], "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, n+".json"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads every *.json instance in dir into the repository.
+func (r *Repository) Load(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return fmt.Errorf("wfinstances: %s: %w", e.Name(), err)
+		}
+		if err := r.Add(&in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect populates the repository with synthetic "execution logs": one
+// instance per recipe per size, the stand-in for WfInstances' curated
+// real-world collection (which is proprietary to each facility).
+func Collect(r *Repository, sizes []int, seed int64) error {
+	for _, rec := range recipes.All() {
+		for _, size := range sizes {
+			n := size
+			if n < rec.MinTasks() {
+				n = rec.MinTasks()
+			}
+			w, err := rec.Generate(n, seededRand(seed, rec.Name(), size))
+			if err != nil {
+				return err
+			}
+			in := &Instance{
+				Name:          fmt.Sprintf("%s-testbed-%d-%d", rec.Name(), size, seed),
+				Application:   rec.Name(),
+				RuntimeSystem: "knative",
+				Workflow:      w,
+			}
+			if err := r.Add(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates structural statistics over a set of instances —
+// the per-application tables WfInstances publishes.
+type Summary struct {
+	Application   string
+	Domain        string
+	Instances     int
+	MeanTasks     float64
+	MeanPhases    float64
+	MeanMaxWidth  float64
+	FunctionTypes []string
+}
+
+// Summarize computes per-application summaries over the repository.
+func Summarize(r *Repository) ([]Summary, error) {
+	apps := make([]string, 0)
+	for app := range r.Applications() {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	var out []Summary
+	for _, app := range apps {
+		insts := r.ByApplication(app)
+		s := Summary{Application: app, Instances: len(insts)}
+		types := make(map[string]struct{})
+		for _, in := range insts {
+			s.Domain = in.Domain
+			stats, err := in.Workflow.ComputeStats()
+			if err != nil {
+				return nil, err
+			}
+			s.MeanTasks += float64(stats.Tasks)
+			s.MeanPhases += float64(stats.Phases)
+			s.MeanMaxWidth += float64(stats.MaxPhaseWidth)
+			for c := range stats.Categories {
+				types[c] = struct{}{}
+			}
+		}
+		n := float64(len(insts))
+		s.MeanTasks /= n
+		s.MeanPhases /= n
+		s.MeanMaxWidth /= n
+		for c := range types {
+			s.FunctionTypes = append(s.FunctionTypes, c)
+		}
+		sort.Strings(s.FunctionTypes)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Signature is WfChef's structural fingerprint of a workflow: the
+// features that identify its application pattern independent of size.
+type Signature struct {
+	Phases         int
+	WidthRatio     float64 // max phase width / tasks
+	TypeCount      int
+	PhaseProfile   []float64 // normalized widths, resampled to 8 buckets
+	TasksPerType   float64
+	RootsFraction  float64
+	LeavesFraction float64
+}
+
+// SignatureOf fingerprints a workflow.
+func SignatureOf(w *wfformat.Workflow) (*Signature, error) {
+	stats, err := w.ComputeStats()
+	if err != nil {
+		return nil, err
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	sig := &Signature{
+		Phases:       stats.Phases,
+		TypeCount:    len(stats.Categories),
+		TasksPerType: float64(stats.Tasks) / float64(len(stats.Categories)),
+	}
+	if stats.Tasks > 0 {
+		sig.WidthRatio = float64(stats.MaxPhaseWidth) / float64(stats.Tasks)
+		sig.RootsFraction = float64(len(g.Roots())) / float64(stats.Tasks)
+		sig.LeavesFraction = float64(len(g.Leaves())) / float64(stats.Tasks)
+	}
+	sig.PhaseProfile = resample(stats.PhaseWidths, 8, stats.Tasks)
+	return sig, nil
+}
+
+// resample maps phase widths onto n buckets normalized by total tasks.
+func resample(widths []int, n, total int) []float64 {
+	out := make([]float64, n)
+	if len(widths) == 0 || total == 0 {
+		return out
+	}
+	for i, w := range widths {
+		b := i * n / len(widths)
+		out[b] += float64(w) / float64(total)
+	}
+	return out
+}
+
+// distance is the L2 distance between signatures, with structural
+// scalars weighted alongside the phase profile.
+func distance(a, b *Signature) float64 {
+	d := 0.0
+	diff := func(x, y, weight float64) {
+		d += weight * (x - y) * (x - y)
+	}
+	diff(math.Log1p(float64(a.Phases)), math.Log1p(float64(b.Phases)), 2)
+	diff(a.WidthRatio, b.WidthRatio, 4)
+	diff(float64(a.TypeCount), float64(b.TypeCount), 0.25)
+	diff(a.RootsFraction, b.RootsFraction, 2)
+	diff(a.LeavesFraction, b.LeavesFraction, 2)
+	for i := range a.PhaseProfile {
+		diff(a.PhaseProfile[i], b.PhaseProfile[i], 1)
+	}
+	return math.Sqrt(d)
+}
+
+// Identify matches a workflow instance to the closest known recipe —
+// WfChef's pattern detection. It fingerprints the input and compares it
+// against reference instances of every recipe at a comparable size.
+func Identify(w *wfformat.Workflow) (recipeName string, score float64, err error) {
+	sig, err := SignatureOf(w)
+	if err != nil {
+		return "", 0, err
+	}
+	size := w.Len()
+	best, bestDist := "", math.Inf(1)
+	for _, rec := range recipes.All() {
+		n := size
+		if n < rec.MinTasks() {
+			n = rec.MinTasks()
+		}
+		ref, err := rec.Generate(n, seededRand(99, rec.Name(), n))
+		if err != nil {
+			return "", 0, err
+		}
+		refSig, err := SignatureOf(ref)
+		if err != nil {
+			return "", 0, err
+		}
+		if d := distance(sig, refSig); d < bestDist {
+			best, bestDist = rec.Name(), d
+		}
+	}
+	return best, bestDist, nil
+}

@@ -1,0 +1,197 @@
+package wfinstances
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wfserverless/internal/recipes"
+	"wfserverless/internal/wfformat"
+)
+
+func sampleInstance(t *testing.T, app string, size int) *Instance {
+	t.Helper()
+	rec, err := recipes.ForName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rec.Generate(size, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{Name: app + "-test", Application: app, Workflow: w}
+}
+
+func TestAddValidates(t *testing.T) {
+	r := NewRepository()
+	if err := r.Add(&Instance{Name: "", Workflow: nil}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	bad := &Instance{Name: "x", Workflow: wfformat.New("w")}
+	bad.Workflow.AddTask(&wfformat.Task{Name: "t", Type: "weird", Cores: 1})
+	if err := r.Add(bad); err == nil {
+		t.Fatal("invalid workflow accepted")
+	}
+	in := sampleInstance(t, "blast", 20)
+	if err := r.Add(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(in); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestDomainInferred(t *testing.T) {
+	r := NewRepository()
+	for app, want := range map[string]string{
+		"blast":      DomainBioinformatics,
+		"cycles":     DomainAgroecosystems,
+		"seismology": DomainSeismology,
+	} {
+		in := sampleInstance(t, app, 30)
+		if err := r.Add(in); err != nil {
+			t.Fatal(err)
+		}
+		if in.Domain != want {
+			t.Errorf("%s domain = %q, want %q", app, in.Domain, want)
+		}
+	}
+	if got := len(r.ByDomain(DomainBioinformatics)); got != 1 {
+		t.Fatalf("bioinformatics instances = %d", got)
+	}
+}
+
+func TestCollectAndSummarize(t *testing.T) {
+	r := NewRepository()
+	if err := Collect(r, []int{30, 60}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 14 {
+		t.Fatalf("collected %d instances, want 14", r.Len())
+	}
+	apps := r.Applications()
+	for _, name := range recipes.Names() {
+		if apps[name] != 2 {
+			t.Fatalf("app %s has %d instances", name, apps[name])
+		}
+	}
+	sums, err := Summarize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 7 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	for _, s := range sums {
+		if s.MeanTasks < 20 || s.MeanPhases < 2 || len(s.FunctionTypes) == 0 {
+			t.Fatalf("degenerate summary: %+v", s)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := NewRepository()
+	if err := Collect(r, []int{20}, 3); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "instances")
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRepository()
+	if err := r2.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Names(), r2.Names()) {
+		t.Fatalf("names differ: %v vs %v", r.Names(), r2.Names())
+	}
+	for _, n := range r.Names() {
+		if !reflect.DeepEqual(r.Get(n).Workflow, r2.Get(n).Workflow) {
+			t.Fatalf("instance %s changed in round trip", n)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	r := NewRepository()
+	if err := r.Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestSignatureOf(t *testing.T) {
+	in := sampleInstance(t, "blast", 100)
+	sig, err := SignatureOf(in.Workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Phases != 3 {
+		t.Fatalf("phases = %d", sig.Phases)
+	}
+	if sig.WidthRatio < 0.9 {
+		t.Fatalf("blast width ratio = %v, want ~0.97", sig.WidthRatio)
+	}
+	total := 0.0
+	for _, v := range sig.PhaseProfile {
+		total += v
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("profile does not sum to 1: %v", total)
+	}
+}
+
+// TestIdentifyRecognizesAllRecipes is the WfChef property: an instance
+// generated from a recipe (with a different seed and size than the
+// references) must be identified as that recipe.
+func TestIdentifyRecognizesAllRecipes(t *testing.T) {
+	for _, rec := range recipes.All() {
+		for _, size := range []int{40, 150} {
+			n := size
+			if n < rec.MinTasks() {
+				n = rec.MinTasks()
+			}
+			w, err := rec.Generate(n, rand.New(rand.NewSource(777)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, score, err := Identify(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != rec.Name() {
+				t.Errorf("size %d: identified %s as %s (score %.3f)", size, rec.Name(), got, score)
+			}
+		}
+	}
+}
+
+func TestIdentifyHandlesUnseenShape(t *testing.T) {
+	// A plain chain is none of the recipes; Identify must still return
+	// some nearest recipe without error.
+	w := wfformat.New("chain")
+	prev := ""
+	for i := 0; i < 10; i++ {
+		name := "step_" + string(rune('a'+i))
+		task := &wfformat.Task{
+			Name: name, Type: wfformat.TypeCompute, Cores: 1, ID: name, Category: "step",
+			Command: wfformat.Command{Program: "wfbench", Arguments: []wfformat.Argument{{
+				Name: name, PercentCPU: 0.5, CPUWork: 10,
+				Out: map[string]int64{name + "_out": 1},
+			}}},
+			Files: []wfformat.File{{Link: wfformat.LinkOutput, Name: name + "_out", SizeInBytes: 1}},
+		}
+		if prev != "" {
+			task.Files = append(task.Files, wfformat.File{Link: wfformat.LinkInput, Name: prev + "_out", SizeInBytes: 1})
+		}
+		w.AddTask(task)
+		if prev != "" {
+			w.Link(prev, name)
+		}
+		prev = name
+	}
+	name, _, err := Identify(w)
+	if err != nil || name == "" {
+		t.Fatalf("Identify failed on unseen shape: %v %q", err, name)
+	}
+}

@@ -1,0 +1,162 @@
+package wfm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfformat"
+)
+
+// RunEager executes the workflow with dependency-driven scheduling: each
+// function is invoked as soon as all of its parents have completed, with
+// no phase barrier and no inter-phase delay. The paper's manager
+// deliberately uses phase barriers plus a fixed delay (Section III-C);
+// this mode quantifies what that simplification costs — stragglers in a
+// phase no longer hold back unrelated ready functions.
+//
+// Failure semantics match Run: without ContinueOnError the first failure
+// cancels everything still pending; descendants of a failed function are
+// never invoked either way (their inputs cannot appear).
+func (m *Manager) RunEager(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	for _, name := range w.TaskNames() {
+		if w.Tasks[name].Command.APIURL == "" {
+			return nil, fmt.Errorf("wfm: task %q has no api_url; run a translator first", name)
+		}
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := g.LevelOf()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Workflow: w.Name,
+		Tasks:    make(map[string]*TaskResult, w.Len()+2),
+	}
+	start := time.Now()
+
+	// Header: stage external inputs.
+	header := &TaskResult{Name: HeaderName, Category: "header", Phase: 0}
+	if m.opts.StageInputs {
+		stage := make(map[string]int64)
+		for _, f := range w.ExternalInputs() {
+			stage[f.Name] = f.SizeInBytes
+		}
+		if err := sharedfs.Stage(m.opts.Drive, stage); err != nil {
+			header.Err = err
+			res.Tasks[HeaderName] = header
+			return res, fmt.Errorf("wfm: staging inputs: %w", err)
+		}
+	}
+	header.End = time.Since(start)
+	res.Tasks[HeaderName] = header
+	res.Phases = append(res.Phases, []string{HeaderName})
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		failed bool
+	}
+	done := make(map[string]chan outcome, w.Len())
+	for _, name := range w.TaskNames() {
+		done[name] = make(chan outcome, 1)
+	}
+
+	var sem chan struct{}
+	if m.opts.MaxParallel > 0 {
+		sem = make(chan struct{}, m.opts.MaxParallel)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	record := func(tr *TaskResult) {
+		mu.Lock()
+		res.Tasks[tr.Name] = tr
+		if tr.Err != nil {
+			res.Failed = append(res.Failed, tr.Name)
+		}
+		mu.Unlock()
+	}
+
+	for _, name := range w.TaskNames() {
+		wg.Add(1)
+		go func(task *wfformat.Task) {
+			defer wg.Done()
+			tr := &TaskResult{
+				Name:     task.Name,
+				Category: task.Category,
+				Phase:    levels[task.Name] + 1,
+			}
+			defer func() {
+				record(tr)
+				out := outcome{failed: tr.Err != nil}
+				done[task.Name] <- out
+				if out.failed && !m.opts.ContinueOnError {
+					cancel()
+				}
+			}()
+
+			// Wait for every parent to complete.
+			for _, parent := range task.Parents {
+				select {
+				case out := <-done[parent]:
+					done[parent] <- out // re-publish for sibling waiters
+					if out.failed {
+						tr.Err = fmt.Errorf("wfm: %s: skipped, parent %s failed", task.Name, parent)
+						return
+					}
+				case <-runCtx.Done():
+					tr.Err = runCtx.Err()
+					return
+				}
+			}
+			if err := runCtx.Err(); err != nil {
+				tr.Err = err
+				return
+			}
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-runCtx.Done():
+					tr.Err = runCtx.Err()
+					return
+				}
+			}
+			tr.Start = time.Since(start)
+			tr.Response, tr.Err = m.invoke(runCtx, task)
+			tr.End = time.Since(start)
+		}(w.Tasks[name])
+	}
+	wg.Wait()
+
+	// Report static phases for comparability with Run.
+	phases, _ := w.Phases()
+	res.Phases = append(res.Phases, phases...)
+	tail := &TaskResult{
+		Name: TailName, Category: "tail",
+		Phase: len(phases) + 1,
+		Start: time.Since(start), End: time.Since(start),
+	}
+	res.Tasks[TailName] = tail
+	res.Phases = append(res.Phases, []string{TailName})
+
+	res.Wall = time.Since(start)
+	res.Makespan = res.Wall.Seconds() / m.opts.TimeScale
+	if len(res.Failed) > 0 {
+		sort.Strings(res.Failed)
+		return res, fmt.Errorf("wfm: %d function(s) failed: %v", len(res.Failed), res.Failed)
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package wfm
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfbench"
+)
+
+func TestRunEagerCompletesAndOrders(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, time.Millisecond)
+	m := fastManager(t, drive, nil)
+	w := translated(t, "epigenomics", 30, srv.URL)
+	res, err := m.RunEager(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != w.Len()+2 {
+		t.Fatalf("tasks = %d", len(res.Tasks))
+	}
+	// Dependency order: children start only after parents end.
+	for name, tr := range res.Tasks {
+		task, ok := w.Tasks[name]
+		if !ok {
+			continue
+		}
+		for _, parent := range task.Parents {
+			if res.Tasks[parent].End > tr.Start {
+				t.Fatalf("%s started before parent %s finished", name, parent)
+			}
+		}
+	}
+	// All outputs written.
+	for _, name := range w.TaskNames() {
+		for _, out := range w.Tasks[name].OutputFiles() {
+			if !drive.Exists(out) {
+				t.Fatalf("missing output %s", out)
+			}
+		}
+	}
+}
+
+func TestRunEagerFasterThanPhased(t *testing.T) {
+	// A workflow with uneven phase membership: eager mode lets fast
+	// chains run ahead instead of waiting for phase barriers and the
+	// inter-phase delay.
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, 2*time.Millisecond)
+	m := fastManager(t, drive, func(o *Options) { o.PhaseDelay = 5 }) // 10ms per barrier
+	w := translated(t, "cycles", 60, srv.URL)
+
+	res, err := m.Run(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive2 := sharedfs.NewMem()
+	srv2, _, _ := stubService(t, drive2, 2*time.Millisecond)
+	m2 := fastManager(t, drive2, func(o *Options) { o.PhaseDelay = 5 })
+	w2 := translated(t, "cycles", 60, srv2.URL)
+	eager, err := m2.RunEager(context.Background(), w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Wall >= res.Wall {
+		t.Fatalf("eager %v not faster than phased %v on a multi-phase workflow", eager.Wall, res.Wall)
+	}
+}
+
+func TestRunEagerFailurePropagatesToDescendants(t *testing.T) {
+	drive := sharedfs.NewMem()
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req wfbench.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		calls.Add(1)
+		if strings.HasPrefix(req.Name, "split_fasta") {
+			http.Error(w, "boom", http.StatusBadRequest) // non-retriable
+			return
+		}
+		for name, size := range req.Out {
+			drive.WriteFile(name, size)
+		}
+		json.NewEncoder(w).Encode(&wfbench.Response{Name: req.Name, OK: true})
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	m := fastManager(t, drive, func(o *Options) { o.ContinueOnError = true })
+	w := translated(t, "blast", 8, srv.URL)
+	res, err := m.RunEager(context.Background(), w)
+	if err == nil {
+		t.Fatal("failed root reported success")
+	}
+	// Root fails; every descendant must be skipped, not invoked.
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want only the failing root", calls.Load())
+	}
+	if len(res.Failed) != w.Len() {
+		t.Fatalf("failed = %d, want all %d (root + skipped)", len(res.Failed), w.Len())
+	}
+	for name, tr := range res.Tasks {
+		if name == HeaderName || name == TailName || strings.HasPrefix(name, "split_fasta") {
+			continue
+		}
+		if tr.Err == nil || !strings.Contains(tr.Err.Error(), "skipped") {
+			t.Fatalf("task %s: err = %v, want skip", name, tr.Err)
+		}
+	}
+}
+
+func TestRunEagerCancel(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, 50*time.Millisecond)
+	m := fastManager(t, drive, nil)
+	w := translated(t, "blast", 20, srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := m.RunEager(ctx, w); err == nil {
+		t.Fatal("cancelled eager run succeeded")
+	}
+}
+
+func TestRunEagerRequiresTranslation(t *testing.T) {
+	m := fastManager(t, sharedfs.NewMem(), nil)
+	w, _ := untranslated(t, "blast", 6)
+	if _, err := m.RunEager(context.Background(), w); err == nil {
+		t.Fatal("untranslated workflow accepted")
+	}
+}
+
+func TestRunEagerMaxParallel(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, maxActive := stubService(t, drive, 5*time.Millisecond)
+	m := fastManager(t, drive, func(o *Options) { o.MaxParallel = 2 })
+	w := translated(t, "seismology", 20, srv.URL)
+	if _, err := m.RunEager(context.Background(), w); err != nil {
+		t.Fatal(err)
+	}
+	if maxActive.Load() > 2 {
+		t.Fatalf("max active = %d, want <= 2", maxActive.Load())
+	}
+}

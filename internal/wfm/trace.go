@@ -1,0 +1,129 @@
+package wfm
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Trace is the serializable execution record of one workflow run — the
+// analogue of the per-execution result files the paper's artifact stores
+// under experiments/results/workflow_executions.
+type Trace struct {
+	Workflow string       `json:"workflow"`
+	Makespan float64      `json:"makespanSeconds"`
+	WallMS   float64      `json:"wallMilliseconds"`
+	Failed   []string     `json:"failed,omitempty"`
+	Events   []TraceEvent `json:"events"`
+}
+
+// TraceEvent is one function invocation in the trace.
+type TraceEvent struct {
+	Name        string  `json:"name"`
+	Category    string  `json:"category"`
+	Phase       int     `json:"phase"`
+	StartMS     float64 `json:"startMs"`
+	EndMS       float64 `json:"endMs"`
+	Pod         string  `json:"pod,omitempty"`
+	ColdStart   bool    `json:"coldStart,omitempty"`
+	OutBytes    int64   `json:"outBytes,omitempty"`
+	WallSeconds float64 `json:"wallSeconds,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// TraceOf converts a Result into a Trace, events ordered by start time
+// then name.
+func TraceOf(res *Result) *Trace {
+	tr := &Trace{
+		Workflow: res.Workflow,
+		Makespan: res.Makespan,
+		WallMS:   float64(res.Wall.Microseconds()) / 1000,
+		Failed:   append([]string(nil), res.Failed...),
+	}
+	for _, t := range res.Tasks {
+		ev := TraceEvent{
+			Name:     t.Name,
+			Category: t.Category,
+			Phase:    t.Phase,
+			StartMS:  float64(t.Start.Microseconds()) / 1000,
+			EndMS:    float64(t.End.Microseconds()) / 1000,
+		}
+		if t.Response != nil {
+			ev.Pod = t.Response.Pod
+			ev.ColdStart = t.Response.ColdStart
+			ev.OutBytes = t.Response.OutBytes
+			ev.WallSeconds = t.Response.WallSeconds
+		}
+		if t.Err != nil {
+			ev.Error = t.Err.Error()
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	sort.Slice(tr.Events, func(i, j int) bool {
+		if tr.Events[i].StartMS != tr.Events[j].StartMS {
+			return tr.Events[i].StartMS < tr.Events[j].StartMS
+		}
+		return tr.Events[i].Name < tr.Events[j].Name
+	})
+	return tr
+}
+
+// WriteJSON emits the trace as indented JSON.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// WriteCSV emits the trace events as CSV, one row per invocation.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "category", "phase", "start_ms", "end_ms", "pod", "error"}); err != nil {
+		return err
+	}
+	for _, ev := range tr.Events {
+		if err := cw.Write([]string{
+			ev.Name, ev.Category, strconv.Itoa(ev.Phase),
+			fmt.Sprintf("%.3f", ev.StartMS), fmt.Sprintf("%.3f", ev.EndMS),
+			ev.Pod, ev.Error,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseTrace reads a JSON trace.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("wfm: parse trace: %w", err)
+	}
+	return &tr, nil
+}
+
+// CriticalEvents returns, per phase, the event that finished last — the
+// stragglers that set the phase span.
+func (tr *Trace) CriticalEvents() []TraceEvent {
+	last := make(map[int]TraceEvent)
+	maxPhase := 0
+	for _, ev := range tr.Events {
+		if cur, ok := last[ev.Phase]; !ok || ev.EndMS > cur.EndMS {
+			last[ev.Phase] = ev
+		}
+		if ev.Phase > maxPhase {
+			maxPhase = ev.Phase
+		}
+	}
+	var out []TraceEvent
+	for p := 0; p <= maxPhase; p++ {
+		if ev, ok := last[p]; ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

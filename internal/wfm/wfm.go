@@ -1,0 +1,426 @@
+// Package wfm implements the paper's core contribution: a prototype
+// workflow management system for serverless (Section III-C). The manager
+// reads a workflow description in the WfCommons-derived JSON format —
+// each function annotated by the translator with the HTTP endpoint that
+// executes it — translates it into a DAG, and executes the DAG phase by
+// phase: all functions of a phase are collected and invoked
+// simultaneously by sending HTTP POST requests to their respective
+// api_url addresses. Before invoking each function the manager checks
+// that its input files are available on the shared drive, and a brief
+// delay between phases gives preceding functions time to publish their
+// outputs, exactly as described in the paper. A header (starting
+// function) and tail (finishing function) frame every execution.
+//
+// The manager is platform-agnostic: it works against "any serverless
+// platform that handles invocations through HTTP requests" — here the
+// in-process Knative-like platform, the local-container baseline, or a
+// real endpoint.
+package wfm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfbench"
+	"wfserverless/internal/wfformat"
+)
+
+// HeaderName and TailName are the synthetic framing functions the
+// manager adds around every workflow.
+const (
+	HeaderName = "__workflow_header"
+	TailName   = "__workflow_tail"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Drive is the shared drive used for input checks and for staging
+	// the workflow's external inputs; required.
+	Drive sharedfs.Drive
+	// Client issues the HTTP invocations; nil uses a dedicated client
+	// with a large connection pool (a phase can hold hundreds of
+	// simultaneous requests).
+	Client *http.Client
+	// TimeScale converts the nominal paper-second durations below into
+	// wall time; zero defaults to 1.
+	TimeScale float64
+	// PhaseDelay is the paper's inter-phase delay in nominal seconds
+	// ("a brief delay of one second is introduced between each
+	// workflow phase"); zero defaults to 1.
+	PhaseDelay float64
+	// InputWait bounds the per-phase wait for input files on the
+	// shared drive, nominal seconds; zero defaults to 30.
+	InputWait float64
+	// MaxParallel caps simultaneous HTTP requests; zero means
+	// unlimited (the paper's behaviour).
+	MaxParallel int
+	// ContinueOnError keeps executing later phases after a function
+	// fails; by default a failed phase aborts the run.
+	ContinueOnError bool
+	// Retries re-issues failed invocations up to this many extra
+	// times (transport errors and 5xx responses only), with
+	// RetryBackoff nominal seconds between attempts — basic
+	// fault-tolerance for flaky endpoints.
+	Retries      int
+	RetryBackoff float64
+	// StageInputs controls whether Run writes the workflow's external
+	// input files to the drive before the first phase. Defaults true
+	// via New.
+	StageInputs bool
+}
+
+// Manager executes workflows.
+type Manager struct {
+	opts Options
+}
+
+// New returns a Manager for the options.
+func New(opts Options) (*Manager, error) {
+	if opts.Drive == nil {
+		return nil, errors.New("wfm: Options need a Drive")
+	}
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 1
+	}
+	if opts.TimeScale < 0 {
+		return nil, errors.New("wfm: negative TimeScale")
+	}
+	if opts.PhaseDelay == 0 {
+		opts.PhaseDelay = 1
+	}
+	if opts.InputWait == 0 {
+		opts.InputWait = 30
+	}
+	if opts.Client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		}
+		opts.Client = &http.Client{Transport: tr}
+	}
+	opts.StageInputs = true
+	return &Manager{opts: opts}, nil
+}
+
+func (m *Manager) scaled(nominalSeconds float64) time.Duration {
+	return time.Duration(nominalSeconds * m.opts.TimeScale * float64(time.Second))
+}
+
+// TaskResult records one function invocation.
+type TaskResult struct {
+	Name     string
+	Category string
+	Phase    int
+	Start    time.Duration // offset from run start (wall)
+	End      time.Duration
+	Response *wfbench.Response
+	Err      error
+}
+
+// Result summarizes one workflow execution.
+type Result struct {
+	Workflow string
+	// Phases lists the function names per executed phase, including
+	// the synthetic header and tail.
+	Phases [][]string
+	// Makespan is the nominal end-to-end time in paper seconds
+	// (wall time divided by TimeScale).
+	Makespan float64
+	// Wall is the measured wall-clock duration.
+	Wall time.Duration
+	// Tasks holds per-function results keyed by name.
+	Tasks map[string]*TaskResult
+	// Failed lists functions that returned errors, sorted.
+	Failed []string
+}
+
+// PhaseError reports a phase whose functions failed.
+type PhaseError struct {
+	Phase  int
+	Failed []string
+	Errs   []error
+}
+
+func (e *PhaseError) Error() string {
+	return fmt.Sprintf("wfm: phase %d: %d function(s) failed: %v (first: %v)",
+		e.Phase, len(e.Failed), e.Failed, e.Errs[0])
+}
+
+// Unwrap exposes the first underlying error.
+func (e *PhaseError) Unwrap() error { return e.Errs[0] }
+
+// Run executes the workflow. Every task must carry an api_url (set by a
+// translator); Run validates the workflow first.
+func (m *Manager) Run(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	for _, name := range w.TaskNames() {
+		if w.Tasks[name].Command.APIURL == "" {
+			return nil, fmt.Errorf("wfm: task %q has no api_url; run a translator first", name)
+		}
+	}
+	phases, err := w.Phases()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Workflow: w.Name,
+		Tasks:    make(map[string]*TaskResult, w.Len()+2),
+	}
+	start := time.Now()
+	record := func(tr *TaskResult) {
+		res.Tasks[tr.Name] = tr
+	}
+
+	// Header: stage external inputs so root functions find their data.
+	header := &TaskResult{Name: HeaderName, Category: "header", Phase: 0, Start: 0}
+	if m.opts.StageInputs {
+		stage := make(map[string]int64)
+		for _, f := range w.ExternalInputs() {
+			stage[f.Name] = f.SizeInBytes
+		}
+		if err := sharedfs.Stage(m.opts.Drive, stage); err != nil {
+			header.Err = err
+			record(header)
+			return res, fmt.Errorf("wfm: staging inputs: %w", err)
+		}
+	}
+	header.End = time.Since(start)
+	record(header)
+	res.Phases = append(res.Phases, []string{HeaderName})
+
+	var sem chan struct{}
+	if m.opts.MaxParallel > 0 {
+		sem = make(chan struct{}, m.opts.MaxParallel)
+	}
+
+	var abort *PhaseError
+	for pi, phase := range phases {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		// Check that every input of the phase is on the shared drive,
+		// waiting briefly for stragglers from the previous phase.
+		if err := m.awaitInputs(ctx, w, phase); err != nil && !m.opts.ContinueOnError {
+			return res, fmt.Errorf("wfm: phase %d: %w", pi+1, err)
+		}
+
+		var wg sync.WaitGroup
+		results := make([]*TaskResult, len(phase))
+		for i, name := range phase {
+			wg.Add(1)
+			go func(i int, task *wfformat.Task) {
+				defer wg.Done()
+				if sem != nil {
+					sem <- struct{}{}
+					defer func() { <-sem }()
+				}
+				tr := &TaskResult{
+					Name:     task.Name,
+					Category: task.Category,
+					Phase:    pi + 1,
+					Start:    time.Since(start),
+				}
+				tr.Response, tr.Err = m.invoke(ctx, task)
+				tr.End = time.Since(start)
+				results[i] = tr
+			}(i, w.Tasks[name])
+		}
+		wg.Wait()
+
+		var failed []string
+		var errs []error
+		for _, tr := range results {
+			record(tr)
+			if tr.Err != nil {
+				failed = append(failed, tr.Name)
+				errs = append(errs, tr.Err)
+			}
+		}
+		res.Phases = append(res.Phases, append([]string(nil), phase...))
+		if len(failed) > 0 {
+			sort.Strings(failed)
+			res.Failed = append(res.Failed, failed...)
+			abort = &PhaseError{Phase: pi + 1, Failed: failed, Errs: errs}
+			if !m.opts.ContinueOnError {
+				break
+			}
+			abort = nil
+		}
+
+		// The paper's brief inter-phase delay, skipped after the last
+		// phase.
+		if pi < len(phases)-1 {
+			select {
+			case <-ctx.Done():
+				return res, ctx.Err()
+			case <-time.After(m.scaled(m.opts.PhaseDelay)):
+			}
+		}
+	}
+
+	tail := &TaskResult{
+		Name: TailName, Category: "tail",
+		Phase: len(phases) + 1,
+		Start: time.Since(start), End: time.Since(start),
+	}
+	record(tail)
+	res.Phases = append(res.Phases, []string{TailName})
+
+	res.Wall = time.Since(start)
+	res.Makespan = res.Wall.Seconds() / m.opts.TimeScale
+	if abort != nil {
+		return res, abort
+	}
+	if len(res.Failed) > 0 {
+		sort.Strings(res.Failed)
+		return res, fmt.Errorf("wfm: %d function(s) failed: %v", len(res.Failed), res.Failed)
+	}
+	return res, nil
+}
+
+// awaitInputs waits until every input file of the phase's functions is
+// present on the shared drive.
+func (m *Manager) awaitInputs(ctx context.Context, w *wfformat.Workflow, phase []string) error {
+	needed := make(map[string]struct{})
+	for _, name := range phase {
+		for _, in := range w.Tasks[name].InputFiles() {
+			needed[in] = struct{}{}
+		}
+	}
+	if len(needed) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(needed))
+	for n := range needed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	waitCtx, cancel := context.WithTimeout(ctx, m.scaled(m.opts.InputWait))
+	defer cancel()
+	missing, err := sharedfs.WaitFor(waitCtx, m.opts.Drive, names, m.scaled(m.opts.InputWait)/100)
+	if err != nil {
+		return fmt.Errorf("inputs missing on shared drive: %v: %w", missing, err)
+	}
+	return nil
+}
+
+// invoke POSTs one function's WfBench request to its api_url, retrying
+// transient failures per the Retries option.
+func (m *Manager) invoke(ctx context.Context, task *wfformat.Task) (*wfbench.Response, error) {
+	var resp *wfbench.Response
+	var err error
+	var retriable bool
+	for attempt := 0; ; attempt++ {
+		resp, retriable, err = m.invokeOnce(ctx, task)
+		if err == nil || !retriable || attempt >= m.opts.Retries {
+			return resp, err
+		}
+		if m.opts.RetryBackoff > 0 {
+			select {
+			case <-ctx.Done():
+				return resp, ctx.Err()
+			case <-time.After(m.scaled(m.opts.RetryBackoff)):
+			}
+		}
+	}
+}
+
+// invokeOnce performs a single HTTP invocation. retriable reports
+// whether a failure is worth retrying (network error or 5xx).
+func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfbench.Response, retriable bool, _ error) {
+	arg := task.Command.Arguments[0]
+	req := wfbench.Request{
+		Name:       arg.Name,
+		PercentCPU: arg.PercentCPU,
+		CPUWork:    arg.CPUWork,
+		Cores:      task.Cores,
+		MemBytes:   arg.MemBytes,
+		Out:        arg.Out,
+		Inputs:     arg.Inputs,
+		Workdir:    arg.Workdir,
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, false, fmt.Errorf("wfm: %s: encode: %w", task.Name, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, task.Command.APIURL, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("wfm: %s: %w", task.Name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := m.opts.Client.Do(hreq)
+	if err != nil {
+		return nil, ctx.Err() == nil, fmt.Errorf("wfm: %s: request: %w", task.Name, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 1024))
+		return nil, hres.StatusCode >= 500,
+			fmt.Errorf("wfm: %s: HTTP %d: %s", task.Name, hres.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var resp wfbench.Response
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return nil, false, fmt.Errorf("wfm: %s: decode: %w", task.Name, err)
+	}
+	if !resp.OK {
+		return &resp, false, fmt.Errorf("wfm: %s: function error: %s", task.Name, resp.Error)
+	}
+	return &resp, false, nil
+}
+
+// PhaseStats summarizes per-phase behaviour of a Result, used by the
+// characterization tooling.
+type PhaseStats struct {
+	Phase     int
+	Functions int
+	// WallSpan is the wall time from the first start to the last end
+	// in the phase.
+	WallSpan time.Duration
+}
+
+// PhaseBreakdown derives per-phase stats from a Result (excluding the
+// synthetic header/tail).
+func PhaseBreakdown(res *Result) []PhaseStats {
+	byPhase := make(map[int][]*TaskResult)
+	maxPhase := 0
+	for _, tr := range res.Tasks {
+		if tr.Name == HeaderName || tr.Name == TailName {
+			continue
+		}
+		byPhase[tr.Phase] = append(byPhase[tr.Phase], tr)
+		if tr.Phase > maxPhase {
+			maxPhase = tr.Phase
+		}
+	}
+	var out []PhaseStats
+	for p := 1; p <= maxPhase; p++ {
+		trs := byPhase[p]
+		if len(trs) == 0 {
+			continue
+		}
+		first, last := trs[0].Start, trs[0].End
+		for _, tr := range trs[1:] {
+			if tr.Start < first {
+				first = tr.Start
+			}
+			if tr.End > last {
+				last = tr.End
+			}
+		}
+		out = append(out, PhaseStats{Phase: p, Functions: len(trs), WallSpan: last - first})
+	}
+	return out
+}

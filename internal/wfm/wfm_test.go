@@ -1,0 +1,403 @@
+package wfm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/container"
+	"wfserverless/internal/serverless"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/translator"
+	"wfserverless/internal/wfbench"
+	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfgen"
+)
+
+// stubService runs an httptest server that executes WfBench requests
+// against a real drive with a trivial engine, counting concurrency.
+func stubService(t *testing.T, drive sharedfs.Drive, delay time.Duration) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var active, maxActive atomic.Int64
+	var mu sync.Mutex
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req wfbench.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cur := active.Add(1)
+		mu.Lock()
+		if cur > maxActive.Load() {
+			maxActive.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(delay)
+		for name, size := range req.Out {
+			drive.WriteFile(name, size)
+		}
+		active.Add(-1)
+		json.NewEncoder(w).Encode(&wfbench.Response{Name: req.Name, OK: true})
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, &active, &maxActive
+}
+
+func fastManager(t *testing.T, drive sharedfs.Drive, mutate func(*Options)) *Manager {
+	t.Helper()
+	opts := Options{
+		Drive:      drive,
+		TimeScale:  0.002,
+		PhaseDelay: 1,
+		InputWait:  5,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func translated(t *testing.T, recipe string, size int, url string) *wfformat.Workflow {
+	t.Helper()
+	w, err := wfgen.Generate(wfgen.Spec{Recipe: recipe, NumTasks: size, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := translator.LocalContainer(w, translator.LocalContainerOptions{BaseURL: url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing drive accepted")
+	}
+	if _, err := New(Options{Drive: sharedfs.NewMem(), TimeScale: -1}); err == nil {
+		t.Fatal("negative TimeScale accepted")
+	}
+}
+
+func TestRunRequiresAPIURL(t *testing.T) {
+	drive := sharedfs.NewMem()
+	m := fastManager(t, drive, nil)
+	w, _ := wfgen.Generate(wfgen.Spec{Recipe: "blast", NumTasks: 6, Seed: 1})
+	if _, err := m.Run(context.Background(), w); err == nil || !strings.Contains(err.Error(), "api_url") {
+		t.Fatalf("err = %v, want api_url complaint", err)
+	}
+}
+
+func TestRunRejectsInvalidWorkflow(t *testing.T) {
+	m := fastManager(t, sharedfs.NewMem(), nil)
+	w := wfformat.New("bad")
+	w.AddTask(&wfformat.Task{Name: "t", Type: "weird", Cores: 1})
+	if _, err := m.Run(context.Background(), w); err == nil {
+		t.Fatal("invalid workflow executed")
+	}
+}
+
+func TestRunAgainstStub(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, time.Millisecond)
+	m := fastManager(t, drive, nil)
+	w := translated(t, "blast", 12, srv.URL)
+	res, err := m.Run(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 12+2 { // + header + tail
+		t.Fatalf("task results = %d", len(res.Tasks))
+	}
+	// phases: header + 3 + tail
+	if len(res.Phases) != 5 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	if res.Makespan <= 0 || res.Wall <= 0 {
+		t.Fatalf("timings: %+v", res)
+	}
+	// every non-synthetic task got a response
+	for name, tr := range res.Tasks {
+		if name == HeaderName || name == TailName {
+			continue
+		}
+		if tr.Err != nil || tr.Response == nil || !tr.Response.OK {
+			t.Fatalf("task %s: %+v", name, tr)
+		}
+	}
+	// all outputs present on the drive
+	for _, name := range w.TaskNames() {
+		for _, out := range w.Tasks[name].OutputFiles() {
+			if !drive.Exists(out) {
+				t.Fatalf("output %s missing", out)
+			}
+		}
+	}
+}
+
+func TestPhaseOrderRespected(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, time.Millisecond)
+	m := fastManager(t, drive, nil)
+	w := translated(t, "epigenomics", 20, srv.URL)
+	res, err := m.Run(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, _ := w.Graph()
+	levels, _ := lv.LevelOf()
+	// A child must start after all its parents ended.
+	for name, tr := range res.Tasks {
+		task, ok := w.Tasks[name]
+		if !ok {
+			continue
+		}
+		for _, parent := range task.Parents {
+			ptr := res.Tasks[parent]
+			if ptr.End > tr.Start {
+				t.Fatalf("task %s (level %d) started at %v before parent %s (level %d) ended at %v",
+					name, levels[name], tr.Start, parent, levels[parent], ptr.End)
+			}
+		}
+	}
+}
+
+func TestMaxParallelCapsConcurrency(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, maxActive := stubService(t, drive, 5*time.Millisecond)
+	m := fastManager(t, drive, func(o *Options) { o.MaxParallel = 3 })
+	w := translated(t, "seismology", 30, srv.URL)
+	if _, err := m.Run(context.Background(), w); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxActive.Load(); got > 3 {
+		t.Fatalf("max concurrent requests = %d, want <= 3", got)
+	}
+}
+
+func TestFailFastAborts(t *testing.T) {
+	drive := sharedfs.NewMem()
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	m := fastManager(t, drive, nil)
+	w := translated(t, "blast", 10, srv.URL)
+	res, err := m.Run(context.Background(), w)
+	if err == nil {
+		t.Fatal("failing run succeeded")
+	}
+	var pe *PhaseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want PhaseError", err, err)
+	}
+	if pe.Phase != 1 {
+		t.Fatalf("failed phase = %d, want 1", pe.Phase)
+	}
+	// only phase 1 (the single split_fasta root) was attempted
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want abort after phase 1", calls.Load())
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("Failed = %v", res.Failed)
+	}
+}
+
+func TestContinueOnError(t *testing.T) {
+	drive := sharedfs.NewMem()
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req wfbench.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		calls.Add(1)
+		// fail only the first phase's function
+		if strings.HasPrefix(req.Name, "split_fasta") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		for name, size := range req.Out {
+			drive.WriteFile(name, size)
+		}
+		json.NewEncoder(w).Encode(&wfbench.Response{Name: req.Name, OK: true})
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	m := fastManager(t, drive, func(o *Options) {
+		o.ContinueOnError = true
+		o.InputWait = 0.5 // later phases will miss the split output
+	})
+	w := translated(t, "blast", 8, srv.URL)
+	res, err := m.Run(context.Background(), w)
+	if err == nil {
+		t.Fatal("run with failures reported success")
+	}
+	if calls.Load() != int64(w.Len()) {
+		t.Fatalf("calls = %d, want all %d attempted", calls.Load(), w.Len())
+	}
+	if len(res.Failed) == 0 {
+		t.Fatal("no failures recorded")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, 50*time.Millisecond)
+	m := fastManager(t, drive, nil)
+	w := translated(t, "blast", 20, srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.Run(ctx, w); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, time.Millisecond)
+	m := fastManager(t, drive, nil)
+	w := translated(t, "blast", 12, srv.URL)
+	res, err := m.Run(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := PhaseBreakdown(res)
+	if len(stats) != 3 {
+		t.Fatalf("phase stats = %+v", stats)
+	}
+	if stats[0].Functions != 1 || stats[1].Functions != 9 || stats[2].Functions != 2 {
+		t.Fatalf("widths = %+v", stats)
+	}
+	for _, s := range stats {
+		if s.WallSpan < 0 {
+			t.Fatalf("negative span: %+v", s)
+		}
+	}
+}
+
+// TestEndToEndServerless runs a real workflow through the translator, the
+// Knative-like platform, and the manager — the paper's full serverless
+// pipeline.
+func TestEndToEndServerless(t *testing.T) {
+	cl := cluster.PaperTestbed()
+	drive := sharedfs.NewMem()
+	p, err := serverless.New(serverless.Options{
+		Cluster:           cl,
+		Drive:             drive,
+		TimeScale:         0.002,
+		ColdStart:         0.5,
+		AutoscalePeriod:   0.5,
+		StableWindow:      10,
+		PodOverheadMem:    50 << 20,
+		WorkerOverheadMem: 8 << 20,
+		InputWait:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Apply(serverless.ServiceConfig{
+		Name: "wfbench", Workers: 10, CPURequestPerWorker: 1, MemRequestPerWorker: 256 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := wfgen.Generate(wfgen.Spec{Recipe: "blast", NumTasks: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := translator.Knative(w, translator.KnativeOptions{IngressURL: url, Workdir: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fastManager(t, drive, nil)
+	res, err := m.Run(context.Background(), kn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+	if p.Requests() != int64(w.Len()) {
+		t.Fatalf("platform served %d requests, want %d", p.Requests(), w.Len())
+	}
+	if p.ColdStarts() == 0 {
+		t.Fatal("expected cold starts on a scale-from-zero service")
+	}
+}
+
+// TestEndToEndLocalContainers runs the same pipeline against the
+// bare-metal baseline.
+func TestEndToEndLocalContainers(t *testing.T) {
+	cl := cluster.PaperTestbed()
+	drive := sharedfs.NewMem()
+	rt, err := container.NewRuntime(container.Options{
+		Cluster:           cl,
+		Drive:             drive,
+		TimeScale:         0.002,
+		InputWait:         5,
+		PodOverheadMem:    50 << 20,
+		WorkerOverheadMem: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := rt.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	for i := 0; i < 4; i++ {
+		if _, err := rt.Run(container.Config{
+			Name: "wfbench-" + string(rune('a'+i)), Workers: 10, CPUs: 10, MemLimit: 4 << 30,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w, err := wfgen.Generate(wfgen.Spec{Recipe: "epigenomics", NumTasks: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := translator.LocalContainer(w, translator.LocalContainerOptions{BaseURL: url, Workdir: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fastManager(t, drive, nil)
+	res, err := m.Run(context.Background(), lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(res.Tasks)-2) != rt.Requests() {
+		t.Fatalf("runtime served %d, want %d", rt.Requests(), len(res.Tasks)-2)
+	}
+	// containers still reserved after the run (always-on baseline)
+	if got := cl.Snapshot().ReservedCores; got != 40 {
+		t.Fatalf("ReservedCores after run = %v, want 40", got)
+	}
+}
+
+// untranslated generates a workflow without api_url annotations.
+func untranslated(t *testing.T, recipe string, size int) (*wfformat.Workflow, error) {
+	t.Helper()
+	return wfgen.Generate(wfgen.Spec{Recipe: recipe, NumTasks: size, Seed: 1})
+}
