@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test tier1 check race bench bench-sched vet clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the gate every change must keep green.
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge bar: tier1 plus vet and the race detector.
+check: tier1 vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-sched compares phase-barrier vs dependency-driven scheduling on
+# the synthetic shapes and the incremental ready-set scheduler.
+bench-sched:
+	$(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs' -benchmem
+	$(GO) test ./internal/dag -run xxx -bench 'Scheduler|Levels' -benchmem
+
+clean:
+	$(GO) clean ./...

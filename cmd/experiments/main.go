@@ -19,6 +19,7 @@ import (
 	"wfserverless/internal/recipes"
 	"wfserverless/internal/wfformat"
 	"wfserverless/internal/wfgen"
+	"wfserverless/internal/wfm"
 )
 
 func main() {
@@ -29,12 +30,18 @@ func main() {
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		timeScale = flag.Float64("time-scale", 0.02, "nominal-to-wall compression")
+		schedule  = flag.String("schedule", "phases", "workflow-manager scheduling: phases (paper) or dependency (event-driven)")
 		csvPath   = flag.String("csv", "", "also append suite CSVs to this file")
 	)
 	flag.Parse()
 
+	mode, err := wfm.ParseScheduling(*schedule)
+	if err != nil {
+		fatal(err)
+	}
 	tn := experiments.DefaultTunables()
 	tn.TimeScale = *timeScale
+	tn.Scheduling = mode
 	sz := experiments.Sizes{Small: *small, Large: *large, Huge: *huge}
 	ctx := context.Background()
 

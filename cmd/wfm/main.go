@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"wfserverless/internal/experiments"
 	"wfserverless/internal/sharedfs"
@@ -40,12 +41,20 @@ func main() {
 		maxPar    = flag.Int("max-parallel", 512, "max simultaneous HTTP invocations")
 		verbose   = flag.Bool("v", false, "print per-phase breakdown")
 		tracePath = flag.String("trace", "", "write the execution trace (JSON) to this file")
-		eager     = flag.Bool("eager", false, "dependency-driven scheduling instead of phase barriers")
+		schedule  = flag.String("schedule", "phases", "scheduling mode: phases (paper barriers) or dependency (event-driven)")
+		eager     = flag.Bool("eager", false, "shorthand for -schedule dependency")
 		retries   = flag.Int("retries", 0, "retry transient invocation failures this many times")
 	)
 	flag.Parse()
 	if *workflow == "" {
 		fatal(fmt.Errorf("-workflow is required"))
+	}
+	mode, err := wfm.ParseScheduling(*schedule)
+	if err != nil {
+		fatal(err)
+	}
+	if *eager {
+		mode = wfm.ScheduleDependency
 	}
 	w, err := wfformat.Load(*workflow)
 	if err != nil {
@@ -53,7 +62,7 @@ func main() {
 	}
 
 	if *paradigm != "" {
-		runSimulated(w, *paradigm, *timeScale, *verbose)
+		runSimulated(w, *paradigm, *timeScale, mode, *verbose)
 		return
 	}
 
@@ -67,15 +76,12 @@ func main() {
 		PhaseDelay:  *phaseWait,
 		MaxParallel: *maxPar,
 		Retries:     *retries,
+		Scheduling:  mode,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	run := mgr.Run
-	if *eager {
-		run = mgr.RunEager
-	}
-	res, err := run(context.Background(), w)
+	res, err := mgr.Run(context.Background(), w)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,19 +102,21 @@ func main() {
 	printResult(res, *verbose)
 }
 
-func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, verbose bool) {
+func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, mode wfm.Scheduling, verbose bool) {
 	spec, err := experiments.ByID(experiments.Paradigm(paradigm))
 	if err != nil {
 		fatal(err)
 	}
 	tn := experiments.DefaultTunables()
 	tn.TimeScale = timeScale
+	tn.Scheduling = mode
 	m, err := experiments.RunWorkflow(context.Background(), spec, w, tn)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("workflow:      %s (%d tasks)\n", m.Workflow, m.Tasks)
 	fmt.Printf("paradigm:      %s\n", m.Paradigm)
+	fmt.Printf("schedule:      %s\n", mode)
 	fmt.Printf("execution:     %.2f s (nominal; wall %v)\n", m.MakespanS, m.Wall)
 	fmt.Printf("power:         %.1f W mean, %.0f J\n", m.MeanPowerW, m.EnergyJ)
 	fmt.Printf("cpu usage:     %.2f cores mean (%.2f max, busy %.2f)\n", m.MeanCPUCores, m.MaxCPUCores, m.MeanBusyCores)
@@ -120,9 +128,22 @@ func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, verb
 
 func printResult(res *wfm.Result, verbose bool) {
 	fmt.Printf("workflow:  %s\n", res.Workflow)
+	fmt.Printf("schedule:  %s\n", res.Scheduling)
 	fmt.Printf("functions: %d (+header/tail)\n", len(res.Tasks)-2)
 	fmt.Printf("phases:    %d\n", len(res.Phases)-2)
 	fmt.Printf("makespan:  %.2f s (wall %v)\n", res.Makespan, res.Wall)
+	var queue time.Duration
+	n := 0
+	for name, tr := range res.Tasks {
+		if name == wfm.HeaderName || name == wfm.TailName {
+			continue
+		}
+		queue += tr.QueueWait()
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("queueing:  %v mean ready->start\n", queue/time.Duration(n))
+	}
 	if len(res.Failed) > 0 {
 		fmt.Printf("FAILED:    %v\n", res.Failed)
 	}

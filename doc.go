@@ -18,7 +18,10 @@
 //     platform (ingress, pods, KPA-style autoscaler, cold starts,
 //     scale-to-zero) and the bare-metal local-container baseline;
 //   - internal/wfm: the serverless workflow manager — the paper's core
-//     contribution — executing DAGs phase by phase over HTTP;
+//     contribution — executing DAGs over HTTP either phase by phase
+//     (the paper's barrier design) or dependency-driven via an
+//     incremental ready-set scheduler (dag.Scheduler) that eliminates
+//     phase barriers, inter-phase delays, and shared-drive polling;
 //   - internal/cluster, internal/metrics, internal/sharedfs: the
 //     two-node testbed model with RAPL-style power, PCP-style sampling,
 //     and the shared drive;

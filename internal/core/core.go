@@ -90,6 +90,9 @@ type SessionConfig struct {
 	PhaseDelay  float64
 	InputWait   float64
 	MaxParallel int
+	// Scheduling selects the manager's execution model; the zero value
+	// is wfm.SchedulePhases (the paper's phase barriers).
+	Scheduling wfm.Scheduling
 
 	// SampleInterval is the telemetry period in nominal seconds; zero
 	// defaults to 1 (the paper's 1 Hz PCP sampling).
@@ -162,6 +165,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		PhaseDelay:  cfg.PhaseDelay,
 		InputWait:   cfg.InputWait,
 		MaxParallel: cfg.MaxParallel,
+		Scheduling:  cfg.Scheduling,
 	})
 	if err != nil {
 		s.Close()

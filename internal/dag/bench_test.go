@@ -47,6 +47,50 @@ func BenchmarkLevels(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerDrain measures incremental readiness tracking: one
+// NewScheduler plus a Complete per vertex — O(V+E) total.
+func BenchmarkSchedulerDrain(b *testing.B) {
+	g := layeredGraph(20, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewScheduler(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frontier := s.TakeReady()
+		for len(frontier) > 0 {
+			var next []string
+			for _, v := range frontier {
+				newly, err := s.Complete(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				next = append(next, newly...)
+			}
+			frontier = next
+		}
+		if !s.Done() {
+			b.Fatal("not drained")
+		}
+	}
+}
+
+// BenchmarkLevelsRederivePerCompletion is the naive alternative the
+// Scheduler replaces: re-deriving the level structure after every
+// completion, O(V*(V+E)) for a whole run.
+func BenchmarkLevelsRederivePerCompletion(b *testing.B) {
+	g := layeredGraph(20, 50)
+	n := g.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j += 50 { // one re-derivation per "wave"
+			if _, err := g.Levels(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkCriticalPath(b *testing.B) {
 	g := layeredGraph(20, 50)
 	w := make(map[string]float64, g.Len())

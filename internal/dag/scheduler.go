@@ -1,0 +1,213 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexState tracks a vertex through a Scheduler's lifecycle.
+type VertexState int
+
+const (
+	// StatePending means at least one parent has not completed yet.
+	StatePending VertexState = iota
+	// StateReady means every parent completed; the vertex is waiting in
+	// the ready set to be taken by the caller.
+	StateReady
+	// StateRunning means the caller took the vertex via TakeReady and
+	// has not reported an outcome yet.
+	StateRunning
+	// StateCompleted means the vertex finished successfully.
+	StateCompleted
+	// StateFailed means the caller reported the vertex as failed.
+	StateFailed
+	// StateSkipped means an ancestor failed, so the vertex can never
+	// become ready.
+	StateSkipped
+)
+
+// String names the state for diagnostics.
+func (s VertexState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateFailed:
+		return "failed"
+	case StateSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("VertexState(%d)", int(s))
+}
+
+// Scheduler tracks the ready frontier of a DAG incrementally: instead of
+// re-deriving topological levels after every completion (O(V+E) each
+// time), it counts remaining unfinished parents per vertex and updates
+// the counts as completions are reported, so the whole execution costs
+// O(V+E) total. This is the readiness engine behind the workflow
+// manager's dependency-driven scheduling mode.
+//
+// The lifecycle of a vertex is pending -> ready -> running -> completed
+// or failed; descendants of a failed vertex become skipped. A Scheduler
+// is not safe for concurrent use; the workflow manager drives it from a
+// single event loop.
+type Scheduler struct {
+	g *Graph
+	// remaining counts parents not yet completed, per pending vertex.
+	remaining map[string]int
+	state     map[string]VertexState
+	// ready is the current frontier, kept sorted for determinism.
+	ready []string
+	// terminal counts vertices in a terminal state (completed, failed,
+	// or skipped).
+	terminal  int
+	completed int
+	skipped   int
+	failed    int
+}
+
+// NewScheduler builds a Scheduler for g. It returns a *CycleError if g
+// is cyclic (a cyclic graph can never drain). The graph must not be
+// mutated while the scheduler is in use.
+func NewScheduler(g *Graph) (*Scheduler, error) {
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		g:         g,
+		remaining: make(map[string]int, g.Len()),
+		state:     make(map[string]VertexState, g.Len()),
+	}
+	for _, v := range g.order {
+		n := len(g.parents[v])
+		s.remaining[v] = n
+		if n == 0 {
+			s.state[v] = StateReady
+			s.ready = append(s.ready, v)
+		} else {
+			s.state[v] = StatePending
+		}
+	}
+	sort.Strings(s.ready)
+	return s, nil
+}
+
+// State returns the lifecycle state of v. Unknown vertices report
+// StatePending.
+func (s *Scheduler) State(v string) VertexState { return s.state[v] }
+
+// Ready returns a copy of the current ready set, sorted.
+func (s *Scheduler) Ready() []string {
+	out := make([]string, len(s.ready))
+	copy(out, s.ready)
+	return out
+}
+
+// TakeReady drains the ready set, marking every returned vertex running.
+// The caller must eventually report each via Complete or Fail.
+func (s *Scheduler) TakeReady() []string {
+	out := s.ready
+	s.ready = nil
+	for _, v := range out {
+		s.state[v] = StateRunning
+	}
+	return out
+}
+
+// Complete reports that v finished successfully and returns the
+// vertices that became ready as a result, sorted. The returned vertices
+// are marked running (as if taken), so the caller can dispatch them
+// directly. It is an error to complete a vertex that is not running or
+// ready.
+func (s *Scheduler) Complete(v string) ([]string, error) {
+	switch s.state[v] {
+	case StateRunning, StateReady:
+	default:
+		return nil, fmt.Errorf("dag: Complete(%q): vertex is %s", v, s.state[v])
+	}
+	if s.state[v] == StateReady {
+		s.dropReady(v)
+	}
+	s.state[v] = StateCompleted
+	s.terminal++
+	s.completed++
+	var newly []string
+	for c := range s.g.children[v] {
+		s.remaining[c]--
+		if s.remaining[c] == 0 && s.state[c] == StatePending {
+			s.state[c] = StateRunning
+			newly = append(newly, c)
+		}
+	}
+	sort.Strings(newly)
+	return newly, nil
+}
+
+// Fail reports that v failed and returns every descendant that can now
+// never run, sorted; those descendants are marked skipped. Descendants
+// already skipped by an earlier failure are not returned again.
+func (s *Scheduler) Fail(v string) ([]string, error) {
+	switch s.state[v] {
+	case StateRunning, StateReady:
+	default:
+		return nil, fmt.Errorf("dag: Fail(%q): vertex is %s", v, s.state[v])
+	}
+	if s.state[v] == StateReady {
+		s.dropReady(v)
+	}
+	s.state[v] = StateFailed
+	s.terminal++
+	s.failed++
+	// Every pending descendant is unreachable: one of its ancestors
+	// (v) will never complete.
+	var skipped []string
+	stack := make([]string, 0, len(s.g.children[v]))
+	for c := range s.g.children[v] {
+		stack = append(stack, c)
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.state[c] != StatePending {
+			continue
+		}
+		s.state[c] = StateSkipped
+		s.terminal++
+		s.skipped++
+		skipped = append(skipped, c)
+		for gc := range s.g.children[c] {
+			stack = append(stack, gc)
+		}
+	}
+	sort.Strings(skipped)
+	return skipped, nil
+}
+
+// Done reports whether every vertex reached a terminal state.
+func (s *Scheduler) Done() bool { return s.terminal == s.g.Len() }
+
+// Remaining returns the number of vertices not yet terminal.
+func (s *Scheduler) Remaining() int { return s.g.Len() - s.terminal }
+
+// Completed returns the number of successfully completed vertices.
+func (s *Scheduler) Completed() int { return s.completed }
+
+// Failed returns the number of failed vertices.
+func (s *Scheduler) Failed() int { return s.failed }
+
+// Skipped returns the number of vertices skipped due to ancestor
+// failures.
+func (s *Scheduler) Skipped() int { return s.skipped }
+
+// dropReady removes v from the sorted ready slice.
+func (s *Scheduler) dropReady(v string) {
+	i := sort.SearchStrings(s.ready, v)
+	if i < len(s.ready) && s.ready[i] == v {
+		s.ready = append(s.ready[:i], s.ready[i+1:]...)
+	}
+}

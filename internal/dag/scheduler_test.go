@@ -1,0 +1,221 @@
+package dag
+
+import (
+	"reflect"
+	"testing"
+)
+
+// diamondGraph builds a -> {b, c} -> d.
+func diamondGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSchedulerRejectsCycle(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	if _, err := NewScheduler(g); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestSchedulerDiamond(t *testing.T) {
+	s, err := NewScheduler(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ready(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("initial ready = %v", got)
+	}
+	if got := s.TakeReady(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("TakeReady = %v", got)
+	}
+	if len(s.TakeReady()) != 0 {
+		t.Fatal("second TakeReady not empty")
+	}
+	if s.State("a") != StateRunning {
+		t.Fatalf("a state = %v", s.State("a"))
+	}
+
+	newly, err := s.Complete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(newly, []string{"b", "c"}) {
+		t.Fatalf("after a: newly = %v", newly)
+	}
+	// Newly-ready vertices are handed out as running — dispatchable
+	// directly without a TakeReady round trip.
+	if s.State("b") != StateRunning || s.State("c") != StateRunning {
+		t.Fatalf("b=%v c=%v", s.State("b"), s.State("c"))
+	}
+
+	// d needs BOTH parents: completing only b must not release it.
+	newly, err = s.Complete("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 0 {
+		t.Fatalf("after b: newly = %v, want none (c still running)", newly)
+	}
+	newly, err = s.Complete("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(newly, []string{"d"}) {
+		t.Fatalf("after c: newly = %v", newly)
+	}
+	if s.Done() {
+		t.Fatal("Done before d completed")
+	}
+	if _, err := s.Complete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || s.Remaining() != 0 || s.Completed() != 4 {
+		t.Fatalf("terminal counts: done=%v remaining=%d completed=%d", s.Done(), s.Remaining(), s.Completed())
+	}
+}
+
+func TestSchedulerFailSkipsDescendants(t *testing.T) {
+	// a -> b -> d, a -> c, and an independent root e.
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddVertex("e")
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := s.TakeReady()
+	if !reflect.DeepEqual(ready, []string{"a", "e"}) {
+		t.Fatalf("ready = %v", ready)
+	}
+	skipped, err := s.Fail("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(skipped, []string{"b", "c", "d"}) {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	for _, v := range skipped {
+		if s.State(v) != StateSkipped {
+			t.Fatalf("%s state = %v", v, s.State(v))
+		}
+	}
+	// The independent root is untouched and the DAG drains.
+	if _, err := s.Complete("e"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || s.Failed() != 1 || s.Skipped() != 3 || s.Completed() != 1 {
+		t.Fatalf("counts: failed=%d skipped=%d completed=%d", s.Failed(), s.Skipped(), s.Completed())
+	}
+}
+
+func TestSchedulerFailSharedDescendantOnce(t *testing.T) {
+	// Two failing parents share child c: it must be reported skipped
+	// exactly once.
+	g := New()
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "c")
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TakeReady()
+	skipped, err := s.Fail("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(skipped, []string{"c"}) {
+		t.Fatalf("first Fail skipped = %v", skipped)
+	}
+	skipped, err = s.Fail("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("second Fail skipped = %v, want none", skipped)
+	}
+	if s.Skipped() != 1 {
+		t.Fatalf("Skipped = %d", s.Skipped())
+	}
+}
+
+func TestSchedulerDoubleCompleteRejected(t *testing.T) {
+	s, err := NewScheduler(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TakeReady()
+	if _, err := s.Complete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Complete("a"); err == nil {
+		t.Fatal("double Complete accepted")
+	}
+	if _, err := s.Complete("unknown"); err == nil {
+		t.Fatal("Complete of unknown vertex accepted")
+	}
+	if _, err := s.Complete("d"); err == nil {
+		t.Fatal("Complete of pending vertex accepted")
+	}
+}
+
+func TestSchedulerCompleteWithoutTake(t *testing.T) {
+	// Completing straight from the ready set (without TakeReady) is
+	// allowed — callers that dispatch from Ready() peek use this.
+	s, err := NewScheduler(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Complete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ready(); len(got) != 0 {
+		t.Fatalf("ready after direct Complete = %v", got)
+	}
+}
+
+// TestSchedulerMatchesLevels drives a scheduler to completion over a
+// layered graph and checks that every vertex becomes ready only after
+// all its parents completed — the same partial order Levels encodes.
+func TestSchedulerMatchesLevels(t *testing.T) {
+	g := layeredGraph(6, 8) // 6 levels x 8 vertices, cross edges
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := make(map[string]bool)
+	frontier := s.TakeReady()
+	for len(frontier) > 0 {
+		next := []string{}
+		for _, v := range frontier {
+			for _, p := range g.Parents(v) {
+				if !completed[p] {
+					t.Fatalf("%s became ready before parent %s completed", v, p)
+				}
+			}
+			newly, err := s.Complete(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			completed[v] = true
+			next = append(next, newly...)
+		}
+		frontier = next
+	}
+	if !s.Done() {
+		t.Fatalf("scheduler not drained: %d remaining", s.Remaining())
+	}
+	if len(completed) != g.Len() {
+		t.Fatalf("completed %d of %d vertices", len(completed), g.Len())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"wfserverless/internal/core"
 	"wfserverless/internal/metrics"
 	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfm"
 )
 
 // Tunables are the shared experiment parameters. All durations are
@@ -43,6 +44,10 @@ type Tunables struct {
 	PhaseDelay  float64
 	InputWait   float64
 	MaxParallel int
+	// Scheduling selects the manager's execution model: the paper's
+	// phase barriers (wfm.SchedulePhases, the zero value) or
+	// dependency-driven dispatch (wfm.ScheduleDependency).
+	Scheduling wfm.Scheduling
 
 	// SampleInterval is the telemetry period (the paper's pmdumptext
 	// -t 1sec).
@@ -134,6 +139,7 @@ func SessionConfig(spec Spec, tn Tunables) (core.SessionConfig, error) {
 		PhaseDelay:     tn.PhaseDelay,
 		InputWait:      tn.InputWait,
 		MaxParallel:    tn.MaxParallel,
+		Scheduling:     tn.Scheduling,
 		SampleInterval: tn.SampleInterval,
 	}, nil
 }

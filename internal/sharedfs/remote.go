@@ -10,6 +10,11 @@ import (
 // impacts of using external distributed data storage for managing
 // scientific workflows", Section VII). Metadata operations pay latency;
 // data operations additionally pay size/bandwidth.
+//
+// RemoteDrive intentionally does NOT implement Watcher even when the
+// wrapped drive does: a remote store has no free push channel, so
+// WaitFor uses its bounded-polling fallback and each probe pays the
+// modeled round trip, exactly like a real client would.
 type RemoteDrive struct {
 	inner Drive
 	// Latency is the per-operation round trip (already scaled to wall

@@ -44,10 +44,28 @@ type Drive interface {
 // ErrNotExist is returned (wrapped) when a file is absent.
 var ErrNotExist = fs.ErrNotExist
 
+// Watcher is an optional Drive extension: drives that can push change
+// notifications let WaitFor wake the instant a file is published instead
+// of burning a poll loop. MemDrive implements it; DiskDrive and
+// RemoteDrive deliberately do not (a real NFS mount or remote store has
+// no portable push channel), so WaitFor falls back to bounded polling
+// for them.
+type Watcher interface {
+	// Watch returns a channel that is closed once name exists on the
+	// drive. If name already exists the returned channel is closed
+	// immediately. cancel releases the watch; it is safe to call after
+	// the channel fired.
+	Watch(name string) (done <-chan struct{}, cancel func())
+}
+
 // MemDrive is an in-memory Drive safe for concurrent use.
 type MemDrive struct {
 	mu    sync.RWMutex
 	files map[string]int64
+	// watchers holds one-shot publication subscriptions per file name,
+	// keyed by a unique id so cancellation is O(1).
+	watchers    map[string]map[uint64]chan struct{}
+	nextWatchID uint64
 }
 
 // NewMem returns an empty in-memory drive.
@@ -55,7 +73,7 @@ func NewMem() *MemDrive {
 	return &MemDrive{files: make(map[string]int64)}
 }
 
-// WriteFile implements Drive.
+// WriteFile implements Drive and wakes any watchers of name.
 func (d *MemDrive) WriteFile(name string, size int64) error {
 	if err := checkName(name); err != nil {
 		return err
@@ -65,8 +83,53 @@ func (d *MemDrive) WriteFile(name string, size int64) error {
 	}
 	d.mu.Lock()
 	d.files[name] = size
+	fired := d.watchers[name]
+	delete(d.watchers, name)
 	d.mu.Unlock()
+	for _, ch := range fired {
+		close(ch)
+	}
 	return nil
+}
+
+// closedChan is returned by Watch for files that already exist.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Watch implements Watcher. The existence check and the subscription
+// are atomic with respect to WriteFile, so a concurrent write can never
+// be missed.
+func (d *MemDrive) Watch(name string) (<-chan struct{}, func()) {
+	d.mu.Lock()
+	if _, ok := d.files[name]; ok {
+		d.mu.Unlock()
+		return closedChan, func() {}
+	}
+	if d.watchers == nil {
+		d.watchers = make(map[string]map[uint64]chan struct{})
+	}
+	id := d.nextWatchID
+	d.nextWatchID++
+	ch := make(chan struct{})
+	if d.watchers[name] == nil {
+		d.watchers[name] = make(map[uint64]chan struct{})
+	}
+	d.watchers[name][id] = ch
+	d.mu.Unlock()
+	cancel := func() {
+		d.mu.Lock()
+		if m, ok := d.watchers[name]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(d.watchers, name)
+			}
+		}
+		d.mu.Unlock()
+	}
+	return ch, cancel
 }
 
 // Stat implements Drive.
@@ -249,14 +312,35 @@ func checkName(name string) error {
 	return nil
 }
 
-// WaitFor polls the drive until every name exists or ctx is done. This is
+// Polling bounds for WaitFor's fallback path: the interval is clamped so
+// a mis-scaled caller can neither spin the drive (important for
+// RemoteDrive, where every Exists pays a network round trip) nor sleep
+// past reasonable reaction time.
+const (
+	minPoll = time.Millisecond
+	maxPoll = 250 * time.Millisecond
+)
+
+// WaitFor blocks until every name exists on the drive or ctx is done,
+// returning the names still missing when the context expires. This is
 // the workflow manager's "check whether the required input files are
-// available on the shared drive" step. It returns the names still missing
-// when the context expires.
+// available on the shared drive" step.
+//
+// When the drive implements Watcher, WaitFor subscribes and wakes the
+// instant each file is published — no polling at all. Otherwise it falls
+// back to polling with the interval clamped to [1ms, 250ms].
 func WaitFor(ctx context.Context, d Drive, names []string, poll time.Duration) (missing []string, err error) {
-	if poll <= 0 {
-		poll = time.Millisecond
+	if w, ok := d.(Watcher); ok {
+		return waitWatch(ctx, w, names)
 	}
+	if poll < minPoll {
+		poll = minPoll
+	}
+	if poll > maxPoll {
+		poll = maxPoll
+	}
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
 	for {
 		missing = missing[:0]
 		for _, n := range names {
@@ -271,9 +355,48 @@ func WaitFor(ctx context.Context, d Drive, names []string, poll time.Duration) (
 		case <-ctx.Done():
 			sort.Strings(missing)
 			return missing, ctx.Err()
-		case <-time.After(poll):
+		case <-timer.C:
+			timer.Reset(poll)
 		}
 	}
+}
+
+// waitWatch is the event-driven WaitFor path: one subscription per name,
+// all released on return.
+func waitWatch(ctx context.Context, w Watcher, names []string) (missing []string, err error) {
+	type watch struct {
+		name   string
+		done   <-chan struct{}
+		cancel func()
+	}
+	watches := make([]watch, 0, len(names))
+	defer func() {
+		for _, wa := range watches {
+			wa.cancel()
+		}
+	}()
+	for _, n := range names {
+		done, cancel := w.Watch(n)
+		watches = append(watches, watch{name: n, done: done, cancel: cancel})
+	}
+	for i, wa := range watches {
+		select {
+		case <-wa.done:
+		case <-ctx.Done():
+			// Collect everything not yet published, including names
+			// after i that may also still be pending.
+			for _, rest := range watches[i:] {
+				select {
+				case <-rest.done:
+				default:
+					missing = append(missing, rest.name)
+				}
+			}
+			sort.Strings(missing)
+			return missing, ctx.Err()
+		}
+	}
+	return nil, nil
 }
 
 // Stage writes every listed file onto the drive — used to place a

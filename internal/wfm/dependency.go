@@ -1,0 +1,207 @@
+package wfm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wfserverless/internal/dag"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfformat"
+)
+
+// dispatchItem is one runnable task handed from the event loop to the
+// worker pool.
+type dispatchItem struct {
+	task  *wfformat.Task
+	phase int           // static topological level, for reporting
+	ready time.Duration // when the scheduler released the task
+}
+
+// runDependency executes the workflow with dependency-driven scheduling:
+// a dag.Scheduler tracks readiness in O(edges) total, a fixed worker
+// pool issues the HTTP invocations, and a completion channel feeds
+// finished tasks back into the single-threaded event loop, which
+// releases newly-ready children immediately. There are no phase barriers
+// and no inter-phase delays; per-task input waits use the shared drive's
+// change notification (sharedfs.Watcher) where available.
+//
+// Failure semantics: descendants of a failed function are never invoked
+// (their inputs cannot appear) and are recorded as skipped failures.
+// Without ContinueOnError the first failure also cancels everything
+// in flight or queued. On context cancellation the loop stops
+// dispatching, drains the workers, records partial TaskResults, and
+// returns ctx.Err() with no goroutines left behind.
+func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := g.LevelOf()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := dag.NewScheduler(g)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Workflow:   w.Name,
+		Scheduling: ScheduleDependency,
+		Tasks:      make(map[string]*TaskResult, w.Len()+2),
+	}
+	start := time.Now()
+	if err := m.stageHeader(w, res, start); err != nil {
+		return res, err
+	}
+	n := w.Len()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := m.opts.MaxParallel
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	// Both channels hold every task, so neither workers nor the event
+	// loop can ever block on the other side having gone away.
+	dispatch := make(chan dispatchItem, n)
+	completions := make(chan *TaskResult, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range dispatch {
+				completions <- m.runTask(runCtx, item, start)
+			}
+		}()
+	}
+
+	enqueue := func(names []string) {
+		now := time.Since(start)
+		for _, name := range names {
+			dispatch <- dispatchItem{task: w.Tasks[name], phase: levels[name] + 1, ready: now}
+		}
+	}
+
+	record := func(tr *TaskResult) {
+		res.Tasks[tr.Name] = tr
+		if tr.Err != nil {
+			res.Failed = append(res.Failed, tr.Name)
+		}
+	}
+
+	// Event loop: runs in this goroutine only, so scheduler and result
+	// state need no locking. Every task is accounted exactly once —
+	// via a worker completion or via skip propagation from a failed
+	// ancestor — so the loop terminates when the count drains.
+	enqueue(sched.TakeReady())
+	for accounted := 0; accounted < n; {
+		tr := <-completions
+		accounted++
+		record(tr)
+		if tr.Err != nil {
+			if !m.opts.ContinueOnError {
+				cancel()
+			}
+			skipped, serr := sched.Fail(tr.Name)
+			if serr != nil {
+				return res, fmt.Errorf("wfm: scheduler state: %w", serr)
+			}
+			now := time.Since(start)
+			for _, s := range skipped {
+				accounted++
+				record(&TaskResult{
+					Name:     s,
+					Category: w.Tasks[s].Category,
+					Phase:    levels[s] + 1,
+					Ready:    now,
+					Start:    now,
+					End:      now,
+					Err:      fmt.Errorf("wfm: %s: skipped: ancestor %s failed", s, tr.Name),
+				})
+			}
+			continue
+		}
+		newly, serr := sched.Complete(tr.Name)
+		if serr != nil {
+			return res, fmt.Errorf("wfm: scheduler state: %w", serr)
+		}
+		enqueue(newly)
+	}
+	close(dispatch)
+	wg.Wait()
+
+	// Report the static phase structure for comparability with
+	// SchedulePhases output (analysis, Gantt, per-phase breakdowns).
+	phases, _ := w.Phases()
+	res.Phases = append(res.Phases, phases...)
+	tail := &TaskResult{
+		Name: TailName, Category: "tail",
+		Phase: len(phases) + 1,
+		Start: time.Since(start), End: time.Since(start),
+	}
+	res.Tasks[TailName] = tail
+	res.Phases = append(res.Phases, []string{TailName})
+
+	res.Wall = time.Since(start)
+	res.Makespan = res.Wall.Seconds() / m.opts.TimeScale
+	if err := ctx.Err(); err != nil {
+		sort.Strings(res.Failed)
+		return res, err
+	}
+	if len(res.Failed) > 0 {
+		sort.Strings(res.Failed)
+		return res, fmt.Errorf("wfm: %d function(s) failed: %v", len(res.Failed), res.Failed)
+	}
+	return res, nil
+}
+
+// runTask executes one dispatched task on a worker: wait for its input
+// files (event-driven on drives that support watching), then invoke.
+func (m *Manager) runTask(ctx context.Context, item dispatchItem, start time.Time) *TaskResult {
+	tr := &TaskResult{
+		Name:     item.task.Name,
+		Category: item.task.Category,
+		Phase:    item.phase,
+		Ready:    item.ready,
+	}
+	if err := ctx.Err(); err != nil {
+		tr.Start = time.Since(start)
+		tr.End = tr.Start
+		tr.Err = err
+		return tr
+	}
+	if inputs := item.task.InputFiles(); len(inputs) > 0 {
+		waitCtx, cancel := context.WithTimeout(ctx, m.scaled(m.opts.InputWait))
+		missing, err := sharedfs.WaitFor(waitCtx, m.opts.Drive, inputs, m.scaled(m.opts.InputWait)/100)
+		cancel()
+		if err != nil {
+			tr.Start = time.Since(start)
+			tr.End = tr.Start
+			tr.Err = fmt.Errorf("wfm: %s: inputs missing on shared drive: %v: %w", item.task.Name, missing, err)
+			return tr
+		}
+	}
+	tr.Start = time.Since(start)
+	tr.Response, tr.Err = m.invoke(ctx, item.task)
+	tr.End = time.Since(start)
+	return tr
+}
+
+// RunEager executes the workflow with dependency-driven scheduling
+// regardless of Options.Scheduling.
+//
+// Deprecated: set Options.Scheduling to ScheduleDependency and call Run.
+// Kept for callers of the original prototype API.
+func (m *Manager) RunEager(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
+	if err := m.validateRunnable(w); err != nil {
+		return nil, err
+	}
+	return m.runDependency(ctx, w)
+}

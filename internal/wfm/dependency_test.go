@@ -1,0 +1,373 @@
+package wfm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfformat"
+)
+
+// depManager builds a Manager in dependency mode.
+func depManager(t *testing.T, drive sharedfs.Drive, mutate func(*Options)) *Manager {
+	t.Helper()
+	return fastManager(t, drive, func(o *Options) {
+		o.Scheduling = ScheduleDependency
+		if mutate != nil {
+			mutate(o)
+		}
+	})
+}
+
+func TestParseScheduling(t *testing.T) {
+	for in, want := range map[string]Scheduling{
+		"phases": SchedulePhases, "phase": SchedulePhases, "": SchedulePhases,
+		"dependency": ScheduleDependency, "dep": ScheduleDependency, "eager": ScheduleDependency,
+	} {
+		got, err := ParseScheduling(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScheduling(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScheduling("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if SchedulePhases.String() != "phases" || ScheduleDependency.String() != "dependency" {
+		t.Fatal("Scheduling String mismatch")
+	}
+	if _, err := New(Options{Drive: sharedfs.NewMem(), Scheduling: Scheduling(99)}); err == nil {
+		t.Fatal("unknown Scheduling accepted by New")
+	}
+}
+
+// TestDependencyViaRunOption is the acceptance property test: dependency
+// mode through the public Run API produces the identical task set and
+// respects every DAG edge, verified from recorded start/end offsets.
+func TestDependencyViaRunOption(t *testing.T) {
+	for _, recipe := range []string{"blast", "epigenomics", "cycles"} {
+		t.Run(recipe, func(t *testing.T) {
+			drive := sharedfs.NewMem()
+			srv, _, _ := stubService(t, drive, time.Millisecond)
+			m := depManager(t, drive, nil)
+			w := translated(t, recipe, 25, srv.URL)
+			res, err := m.Run(context.Background(), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scheduling != ScheduleDependency {
+				t.Fatalf("res.Scheduling = %v", res.Scheduling)
+			}
+			// Identical task set: every workflow task plus header/tail,
+			// nothing else.
+			if len(res.Tasks) != w.Len()+2 {
+				t.Fatalf("tasks = %d, want %d", len(res.Tasks), w.Len()+2)
+			}
+			for _, name := range w.TaskNames() {
+				if _, ok := res.Tasks[name]; !ok {
+					t.Fatalf("task %s missing from result", name)
+				}
+			}
+			// Every DAG edge respected: no task starts before all its
+			// parents ended.
+			for name, tr := range res.Tasks {
+				task, ok := w.Tasks[name]
+				if !ok {
+					continue
+				}
+				if tr.Err != nil {
+					t.Fatalf("task %s failed: %v", name, tr.Err)
+				}
+				for _, parent := range task.Parents {
+					if p := res.Tasks[parent]; p.End > tr.Start {
+						t.Fatalf("%s started at %v before parent %s ended at %v",
+							name, tr.Start, parent, p.End)
+					}
+				}
+				// Queueing latency is well-formed.
+				if tr.Ready > tr.Start || tr.QueueWait() < 0 {
+					t.Fatalf("%s: ready %v after start %v", name, tr.Ready, tr.Start)
+				}
+			}
+		})
+	}
+}
+
+// TestDependencySyntheticShapes runs the three benchmark shapes through
+// both modes and checks the edge property on each.
+func TestDependencySyntheticShapes(t *testing.T) {
+	shapes := []struct {
+		name  string
+		build func(testing.TB, string) *wfformat.Workflow
+	}{
+		{"deep-chain", func(tb testing.TB, url string) *wfformat.Workflow { return chainWorkflow(tb, 12, url) }},
+		{"wide-fanout", func(tb testing.TB, url string) *wfformat.Workflow { return fanoutWorkflow(tb, 24, url) }},
+		{"diamond", func(tb testing.TB, url string) *wfformat.Workflow { return diamondWorkflow(tb, 4, 6, url) }},
+	}
+	for _, shape := range shapes {
+		for _, mode := range []Scheduling{SchedulePhases, ScheduleDependency} {
+			t.Run(fmt.Sprintf("%s/%s", shape.name, mode), func(t *testing.T) {
+				drive := sharedfs.NewMem()
+				srv, _, _ := stubService(t, drive, time.Millisecond)
+				m := fastManager(t, drive, func(o *Options) { o.Scheduling = mode })
+				w := shape.build(t, srv.URL)
+				res, err := m.Run(context.Background(), w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, tr := range res.Tasks {
+					task, ok := w.Tasks[name]
+					if !ok {
+						continue
+					}
+					for _, parent := range task.Parents {
+						if res.Tasks[parent].End > tr.Start {
+							t.Fatalf("%s started before parent %s ended", name, parent)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDependencyEliminatesPhaseDelays checks the headline claim on a
+// deep chain: phase mode pays the inter-phase delay per level, so its
+// wall time must exceed dependency mode's by at least half the total
+// delay budget (conservative margin against scheduling noise).
+func TestDependencyEliminatesPhaseDelays(t *testing.T) {
+	const depth = 10
+	run := func(mode Scheduling) time.Duration {
+		drive := sharedfs.NewMem()
+		srv, _, _ := stubService(t, drive, time.Millisecond)
+		m := fastManager(t, drive, func(o *Options) {
+			o.Scheduling = mode
+			o.PhaseDelay = 2 // 4ms per barrier at TimeScale 0.002
+		})
+		res, err := m.Run(context.Background(), chainWorkflow(t, depth, srv.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wall
+	}
+	phases := run(SchedulePhases)
+	dep := run(ScheduleDependency)
+	delayBudget := time.Duration(depth-1) * 4 * time.Millisecond
+	if phases-dep < delayBudget/2 {
+		t.Fatalf("dependency mode saved only %v over phases %v; want at least %v", phases-dep, phases, delayBudget/2)
+	}
+}
+
+// TestDependencyCancelMidDispatch is the cancellation satellite: cancel
+// while tasks are in flight; the loop must drain its workers, record
+// partial TaskResults for every task, return ctx.Err(), and leak no
+// goroutines.
+func TestDependencyCancelMidDispatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, 30*time.Millisecond)
+	m := depManager(t, drive, func(o *Options) {
+		o.MaxParallel = 4
+		o.InputWait = 1
+	})
+	w := translated(t, "epigenomics", 30, srv.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond) // mid first wave
+		cancel()
+	}()
+	res, err := m.Run(ctx, w)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Partial results: every task is accounted — completed, cancelled,
+	// or skipped — plus header and tail.
+	if len(res.Tasks) != w.Len()+2 {
+		t.Fatalf("recorded %d task results, want %d", len(res.Tasks), w.Len()+2)
+	}
+	var failed, completed int
+	for name, tr := range res.Tasks {
+		if name == HeaderName || name == TailName {
+			continue
+		}
+		if tr.Err != nil {
+			failed++
+		} else {
+			completed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("cancellation recorded no failed tasks")
+	}
+	t.Logf("cancelled run: %d completed, %d cancelled/skipped", completed, failed)
+
+	// No goroutine leaks: the worker pool and any watch subscriptions
+	// must be gone once the stub's in-flight handlers drain.
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: before=%d now=%d\n%s", before, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDependencyFailFastCancelsPending mirrors the phase-mode fail-fast
+// semantics: without ContinueOnError the first failure stops dispatch.
+func TestDependencyFailFastCancelsPending(t *testing.T) {
+	drive := sharedfs.NewMem()
+	m := depManager(t, drive, nil)
+	// Chain where the root fails: a server that 400s everything.
+	bad := failingServer(t)
+	w := chainWorkflow(t, 6, bad.URL)
+	res, err := m.Run(context.Background(), w)
+	if err == nil {
+		t.Fatal("failing run succeeded")
+	}
+	if len(res.Failed) != w.Len() {
+		t.Fatalf("Failed = %d, want all %d (root failed + descendants skipped)", len(res.Failed), w.Len())
+	}
+	skipped := 0
+	for _, name := range res.Failed {
+		if strings.Contains(res.Tasks[name].Err.Error(), "skipped") {
+			skipped++
+		}
+	}
+	if skipped != w.Len()-1 {
+		t.Fatalf("skipped = %d, want %d", skipped, w.Len()-1)
+	}
+}
+
+// TestSkipStageInputs covers the satellite fix: New no longer forces
+// staging on, and the flag actually controls behaviour.
+func TestSkipStageInputs(t *testing.T) {
+	for _, mode := range []Scheduling{SchedulePhases, ScheduleDependency} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Default: external inputs are staged by the header.
+			drive := sharedfs.NewMem()
+			srv, _, _ := stubService(t, drive, time.Millisecond)
+			m := fastManager(t, drive, func(o *Options) { o.Scheduling = mode })
+			w := translated(t, "blast", 8, srv.URL)
+			if _, err := m.Run(context.Background(), w); err != nil {
+				t.Fatalf("default staging run: %v", err)
+			}
+			ext := w.ExternalInputs()
+			if len(ext) == 0 {
+				t.Fatal("test workflow has no external inputs")
+			}
+			for _, f := range ext {
+				if !drive.Exists(f.Name) {
+					t.Fatalf("external input %s not staged by default", f.Name)
+				}
+			}
+
+			// SkipStageInputs with a pre-populated drive: run succeeds
+			// without the header writing anything.
+			drive2 := sharedfs.NewMem()
+			srv2, _, _ := stubService(t, drive2, time.Millisecond)
+			m2 := fastManager(t, drive2, func(o *Options) {
+				o.Scheduling = mode
+				o.SkipStageInputs = true
+			})
+			w2 := translated(t, "blast", 8, srv2.URL)
+			for _, f := range w2.ExternalInputs() {
+				if err := drive2.WriteFile(f.Name, f.SizeInBytes); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := m2.Run(context.Background(), w2); err != nil {
+				t.Fatalf("SkipStageInputs with pre-staged drive: %v", err)
+			}
+
+			// SkipStageInputs with an empty drive: root inputs never
+			// appear, so the run must fail (quick input wait).
+			drive3 := sharedfs.NewMem()
+			srv3, _, _ := stubService(t, drive3, time.Millisecond)
+			m3 := fastManager(t, drive3, func(o *Options) {
+				o.Scheduling = mode
+				o.SkipStageInputs = true
+				o.InputWait = 0.5
+			})
+			w3 := translated(t, "blast", 8, srv3.URL)
+			if _, err := m3.Run(context.Background(), w3); err == nil {
+				t.Fatal("run succeeded with no inputs staged anywhere")
+			}
+		})
+	}
+}
+
+// TestEmptyArgumentsRejectedUpFront covers the invokeOnce guard
+// satellite: a task with no argument block fails validation with a
+// clear error instead of panicking at Arguments[0].
+func TestEmptyArgumentsRejectedUpFront(t *testing.T) {
+	drive := sharedfs.NewMem()
+	m := fastManager(t, drive, nil)
+	w := wfformat.New("malformed")
+	task := synthTask("only", "http://localhost/none", nil)
+	task.Command.Arguments = nil // malformed translated JSON
+	if err := w.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Scheduling{SchedulePhases, ScheduleDependency} {
+		m.opts.Scheduling = mode
+		_, err := m.Run(context.Background(), w)
+		if err == nil {
+			t.Fatalf("%v: malformed workflow executed", mode)
+		}
+		if !strings.Contains(err.Error(), "argument") {
+			t.Fatalf("%v: err = %v, want argument-block complaint", mode, err)
+		}
+	}
+}
+
+// TestInvokeOnceGuardsEmptyArguments exercises the defensive in-flight
+// check directly (the up-front validation normally prevents this).
+func TestInvokeOnceGuardsEmptyArguments(t *testing.T) {
+	m := fastManager(t, sharedfs.NewMem(), nil)
+	task := synthTask("bare", "http://localhost/none", nil)
+	task.Command.Arguments = nil
+	resp, retriable, err := m.invokeOnce(context.Background(), task)
+	if err == nil || retriable || resp != nil {
+		t.Fatalf("invokeOnce = %v, %v, %v; want non-retriable error", resp, retriable, err)
+	}
+}
+
+// TestDependencyQueueWaitUnderThrottle: with MaxParallel=1 on a wide
+// fan-out, siblings become ready together but start serially, so
+// queueing latency must be visible in the recorded results.
+func TestDependencyQueueWaitUnderThrottle(t *testing.T) {
+	drive := sharedfs.NewMem()
+	srv, _, _ := stubService(t, drive, 5*time.Millisecond)
+	m := depManager(t, drive, func(o *Options) { o.MaxParallel = 1 })
+	w := fanoutWorkflow(t, 6, srv.URL)
+	res, err := m.Run(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxWait time.Duration
+	for name, tr := range res.Tasks {
+		if name == HeaderName || name == TailName {
+			continue
+		}
+		if q := tr.QueueWait(); q > maxWait {
+			maxWait = q
+		}
+	}
+	// Five siblings queue behind the first at ~5ms each.
+	if maxWait < 10*time.Millisecond {
+		t.Fatalf("max queue wait = %v, want >= 10ms with MaxParallel=1", maxWait)
+	}
+}

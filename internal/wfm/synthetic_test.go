@@ -1,0 +1,132 @@
+package wfm
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wfserverless/internal/wfformat"
+)
+
+// failingServer rejects every invocation with a non-retriable 400.
+func failingServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusBadRequest)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// Synthetic workflow shapes for scheduler tests and benchmarks. Each
+// task produces one output file consumed by its children, so input
+// waits and DAG edges line up exactly.
+
+func synthTask(name, url string, inputs []string) *wfformat.Task {
+	out := "out_" + name
+	files := []wfformat.File{{Link: wfformat.LinkOutput, Name: out, SizeInBytes: 1}}
+	for _, in := range inputs {
+		files = append(files, wfformat.File{Link: wfformat.LinkInput, Name: in, SizeInBytes: 1})
+	}
+	return &wfformat.Task{
+		Name: name,
+		Type: wfformat.TypeCompute,
+		Command: wfformat.Command{
+			Program: "wfbench",
+			Arguments: []wfformat.Argument{{
+				Name:       name,
+				PercentCPU: 0.5,
+				CPUWork:    1,
+				Out:        map[string]int64{out: 1},
+				Inputs:     inputs,
+			}},
+			APIURL: url,
+		},
+		Files:            files,
+		RuntimeInSeconds: 1,
+		Cores:            1,
+		Category:         "synthetic",
+	}
+}
+
+func synthLink(t testing.TB, w *wfformat.Workflow, parent, child string) {
+	t.Helper()
+	if err := w.Link(parent, child); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func synthAdd(t testing.TB, w *wfformat.Workflow, task *wfformat.Task) {
+	t.Helper()
+	if err := w.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chainWorkflow is a deep, narrow DAG: c000 -> c001 -> ... -> c(n-1).
+// Every level is its own phase, so phase mode pays (n-1) inter-phase
+// delays plus n barriers; the critical path is the whole workflow.
+func chainWorkflow(t testing.TB, n int, url string) *wfformat.Workflow {
+	w := wfformat.New(fmt.Sprintf("chain-%d", n))
+	prev := ""
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("c%03d", i)
+		var inputs []string
+		if prev != "" {
+			inputs = []string{"out_" + prev}
+		}
+		synthAdd(t, w, synthTask(name, url, inputs))
+		if prev != "" {
+			synthLink(t, w, prev, name)
+		}
+		prev = name
+	}
+	return w
+}
+
+// fanoutWorkflow is a wide, shallow DAG: one root feeding width
+// children feeding one sink — three phases regardless of width.
+func fanoutWorkflow(t testing.TB, width int, url string) *wfformat.Workflow {
+	w := wfformat.New(fmt.Sprintf("fanout-%d", width))
+	synthAdd(t, w, synthTask("root", url, nil))
+	sinkInputs := make([]string, 0, width)
+	for i := 0; i < width; i++ {
+		name := fmt.Sprintf("f%03d", i)
+		synthAdd(t, w, synthTask(name, url, []string{"out_root"}))
+		sinkInputs = append(sinkInputs, "out_"+name)
+	}
+	synthAdd(t, w, synthTask("sink", url, sinkInputs))
+	for i := 0; i < width; i++ {
+		name := fmt.Sprintf("f%03d", i)
+		synthLink(t, w, "root", name)
+		synthLink(t, w, name, "sink")
+	}
+	return w
+}
+
+// diamondWorkflow chains depth diamonds: split -> width mids -> join,
+// repeated. Mixes barriers (joins) with intra-diamond parallelism.
+func diamondWorkflow(t testing.TB, depth, width int, url string) *wfformat.Workflow {
+	w := wfformat.New(fmt.Sprintf("diamond-%dx%d", depth, width))
+	prev := "s000"
+	synthAdd(t, w, synthTask(prev, url, nil))
+	for d := 0; d < depth; d++ {
+		joinInputs := make([]string, 0, width)
+		mids := make([]string, 0, width)
+		for i := 0; i < width; i++ {
+			name := fmt.Sprintf("m%03d_%02d", d, i)
+			synthAdd(t, w, synthTask(name, url, []string{"out_" + prev}))
+			mids = append(mids, name)
+			joinInputs = append(joinInputs, "out_"+name)
+		}
+		join := fmt.Sprintf("j%03d", d)
+		synthAdd(t, w, synthTask(join, url, joinInputs))
+		for _, mid := range mids {
+			synthLink(t, w, prev, mid)
+			synthLink(t, w, mid, join)
+		}
+		prev = join
+	}
+	return w
+}

@@ -13,18 +13,22 @@ import (
 // analogue of the per-execution result files the paper's artifact stores
 // under experiments/results/workflow_executions.
 type Trace struct {
-	Workflow string       `json:"workflow"`
-	Makespan float64      `json:"makespanSeconds"`
-	WallMS   float64      `json:"wallMilliseconds"`
-	Failed   []string     `json:"failed,omitempty"`
-	Events   []TraceEvent `json:"events"`
+	Workflow   string       `json:"workflow"`
+	Scheduling string       `json:"scheduling,omitempty"`
+	Makespan   float64      `json:"makespanSeconds"`
+	WallMS     float64      `json:"wallMilliseconds"`
+	Failed     []string     `json:"failed,omitempty"`
+	Events     []TraceEvent `json:"events"`
 }
 
 // TraceEvent is one function invocation in the trace.
 type TraceEvent struct {
-	Name        string  `json:"name"`
-	Category    string  `json:"category"`
-	Phase       int     `json:"phase"`
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Phase    int    `json:"phase"`
+	// ReadyMS is when the scheduler released the task; StartMS-ReadyMS
+	// is the ready->start queueing latency.
+	ReadyMS     float64 `json:"readyMs,omitempty"`
 	StartMS     float64 `json:"startMs"`
 	EndMS       float64 `json:"endMs"`
 	Pod         string  `json:"pod,omitempty"`
@@ -38,16 +42,18 @@ type TraceEvent struct {
 // then name.
 func TraceOf(res *Result) *Trace {
 	tr := &Trace{
-		Workflow: res.Workflow,
-		Makespan: res.Makespan,
-		WallMS:   float64(res.Wall.Microseconds()) / 1000,
-		Failed:   append([]string(nil), res.Failed...),
+		Workflow:   res.Workflow,
+		Scheduling: res.Scheduling.String(),
+		Makespan:   res.Makespan,
+		WallMS:     float64(res.Wall.Microseconds()) / 1000,
+		Failed:     append([]string(nil), res.Failed...),
 	}
 	for _, t := range res.Tasks {
 		ev := TraceEvent{
 			Name:     t.Name,
 			Category: t.Category,
 			Phase:    t.Phase,
+			ReadyMS:  float64(t.Ready.Microseconds()) / 1000,
 			StartMS:  float64(t.Start.Microseconds()) / 1000,
 			EndMS:    float64(t.End.Microseconds()) / 1000,
 		}

@@ -15,6 +15,16 @@
 // platform that handles invocations through HTTP requests" — here the
 // in-process Knative-like platform, the local-container baseline, or a
 // real endpoint.
+//
+// Two scheduling modes are provided (Options.Scheduling). SchedulePhases
+// is the paper's model described above and stays the default. With
+// ScheduleDependency the manager abandons phase barriers: a dag.Scheduler
+// tracks the ready frontier incrementally, a worker pool dispatches each
+// function the instant its parents complete and its inputs are on the
+// drive (woken by sharedfs change notification rather than polling), and
+// no inter-phase delay is inserted. The dependency guarantees and the
+// Result shape are identical; the dead time — straggler barriers plus
+// one fixed delay per DAG level — is gone.
 package wfm
 
 import (
@@ -41,6 +51,46 @@ const (
 	HeaderName = "__workflow_header"
 	TailName   = "__workflow_tail"
 )
+
+// Scheduling selects how the manager orders invocations.
+type Scheduling int
+
+const (
+	// SchedulePhases is the paper's execution model: all functions of a
+	// topological level are invoked simultaneously, the manager waits
+	// for the whole level to drain, and a brief fixed delay separates
+	// consecutive levels. Every phase is as slow as its slowest
+	// straggler; kept as the default for paper fidelity.
+	SchedulePhases Scheduling = iota
+	// ScheduleDependency is the event-driven model: each function is
+	// dispatched the moment all of its DAG parents have completed and
+	// its input files are on the shared drive — no phase barriers and
+	// no inter-phase delay. Identical task sets and dependency
+	// guarantees, strictly less dead time.
+	ScheduleDependency
+)
+
+// String names the mode for flags and reports.
+func (s Scheduling) String() string {
+	switch s {
+	case SchedulePhases:
+		return "phases"
+	case ScheduleDependency:
+		return "dependency"
+	}
+	return fmt.Sprintf("Scheduling(%d)", int(s))
+}
+
+// ParseScheduling maps a flag value onto a Scheduling mode.
+func ParseScheduling(s string) (Scheduling, error) {
+	switch s {
+	case "phases", "phase", "":
+		return SchedulePhases, nil
+	case "dependency", "dep", "eager":
+		return ScheduleDependency, nil
+	}
+	return 0, fmt.Errorf("wfm: unknown scheduling mode %q (want phases or dependency)", s)
+}
 
 // Options configures a Manager.
 type Options struct {
@@ -73,10 +123,14 @@ type Options struct {
 	// fault-tolerance for flaky endpoints.
 	Retries      int
 	RetryBackoff float64
-	// StageInputs controls whether Run writes the workflow's external
-	// input files to the drive before the first phase. Defaults true
-	// via New.
-	StageInputs bool
+	// SkipStageInputs disables writing the workflow's external input
+	// files to the drive before execution. Staging is on by default
+	// (the zero value), matching the paper's header function; callers
+	// that pre-populate the drive themselves set this to true.
+	SkipStageInputs bool
+	// Scheduling selects the execution model; the zero value is
+	// SchedulePhases, the paper's phase-barrier loop.
+	Scheduling Scheduling
 }
 
 // Manager executes workflows.
@@ -108,7 +162,11 @@ func New(opts Options) (*Manager, error) {
 		}
 		opts.Client = &http.Client{Transport: tr}
 	}
-	opts.StageInputs = true
+	switch opts.Scheduling {
+	case SchedulePhases, ScheduleDependency:
+	default:
+		return nil, fmt.Errorf("wfm: unknown Scheduling %d", opts.Scheduling)
+	}
 	return &Manager{opts: opts}, nil
 }
 
@@ -121,17 +179,36 @@ type TaskResult struct {
 	Name     string
 	Category string
 	Phase    int
-	Start    time.Duration // offset from run start (wall)
-	End      time.Duration
+	// Ready is when the scheduler deemed the task runnable: in phase
+	// mode, when its phase began dispatching; in dependency mode, when
+	// its last parent completed (or run start for roots). The gap to
+	// Start is time spent queued behind MaxParallel or waiting for
+	// input files.
+	Ready time.Duration
+	Start time.Duration // offset from run start (wall)
+	End   time.Duration
 	Response *wfbench.Response
 	Err      error
+}
+
+// QueueWait returns the ready→start queueing latency: how long the task
+// sat runnable before its HTTP invocation was issued.
+func (tr *TaskResult) QueueWait() time.Duration {
+	if tr.Start < tr.Ready {
+		return 0
+	}
+	return tr.Start - tr.Ready
 }
 
 // Result summarizes one workflow execution.
 type Result struct {
 	Workflow string
+	// Scheduling is the mode that produced this result.
+	Scheduling Scheduling
 	// Phases lists the function names per executed phase, including
-	// the synthetic header and tail.
+	// the synthetic header and tail. In dependency mode these are the
+	// static topological levels, kept for comparability — execution
+	// order within them is event-driven.
 	Phases [][]string
 	// Makespan is the nominal end-to-end time in paper seconds
 	// (wall time divided by TimeScale).
@@ -159,25 +236,71 @@ func (e *PhaseError) Error() string {
 // Unwrap exposes the first underlying error.
 func (e *PhaseError) Unwrap() error { return e.Errs[0] }
 
-// Run executes the workflow. Every task must carry an api_url (set by a
-// translator); Run validates the workflow first.
+// Run executes the workflow under the configured Scheduling mode. Every
+// task must carry an api_url (set by a translator); Run validates the
+// workflow first.
 func (m *Manager) Run(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
-	if err := w.Validate(); err != nil {
+	if err := m.validateRunnable(w); err != nil {
 		return nil, err
 	}
+	if m.opts.Scheduling == ScheduleDependency {
+		return m.runDependency(ctx, w)
+	}
+	return m.runPhases(ctx, w)
+}
+
+// validateRunnable checks that the workflow is executable: structurally
+// valid, translated (api_url on every task), and carrying the WfBench
+// argument block invoke reads — malformed translated JSON fails here
+// with a clear error instead of panicking mid-run.
+func (m *Manager) validateRunnable(w *wfformat.Workflow) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
 	for _, name := range w.TaskNames() {
-		if w.Tasks[name].Command.APIURL == "" {
-			return nil, fmt.Errorf("wfm: task %q has no api_url; run a translator first", name)
+		t := w.Tasks[name]
+		if t.Command.APIURL == "" {
+			return fmt.Errorf("wfm: task %q has no api_url; run a translator first", name)
+		}
+		if len(t.Command.Arguments) == 0 {
+			return fmt.Errorf("wfm: task %q has no argument block; malformed translated workflow", name)
 		}
 	}
+	return nil
+}
+
+// stageHeader stages the workflow's external inputs (unless disabled)
+// and records the synthetic header task.
+func (m *Manager) stageHeader(w *wfformat.Workflow, res *Result, start time.Time) error {
+	header := &TaskResult{Name: HeaderName, Category: "header", Phase: 0}
+	if !m.opts.SkipStageInputs {
+		stage := make(map[string]int64)
+		for _, f := range w.ExternalInputs() {
+			stage[f.Name] = f.SizeInBytes
+		}
+		if err := sharedfs.Stage(m.opts.Drive, stage); err != nil {
+			header.Err = err
+			res.Tasks[HeaderName] = header
+			return fmt.Errorf("wfm: staging inputs: %w", err)
+		}
+	}
+	header.End = time.Since(start)
+	res.Tasks[HeaderName] = header
+	res.Phases = append(res.Phases, []string{HeaderName})
+	return nil
+}
+
+// runPhases is the paper's phase-barrier loop (Section III-C).
+func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
 	phases, err := w.Phases()
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{
-		Workflow: w.Name,
-		Tasks:    make(map[string]*TaskResult, w.Len()+2),
+		Workflow:   w.Name,
+		Scheduling: SchedulePhases,
+		Tasks:      make(map[string]*TaskResult, w.Len()+2),
 	}
 	start := time.Now()
 	record := func(tr *TaskResult) {
@@ -185,21 +308,9 @@ func (m *Manager) Run(ctx context.Context, w *wfformat.Workflow) (*Result, error
 	}
 
 	// Header: stage external inputs so root functions find their data.
-	header := &TaskResult{Name: HeaderName, Category: "header", Phase: 0, Start: 0}
-	if m.opts.StageInputs {
-		stage := make(map[string]int64)
-		for _, f := range w.ExternalInputs() {
-			stage[f.Name] = f.SizeInBytes
-		}
-		if err := sharedfs.Stage(m.opts.Drive, stage); err != nil {
-			header.Err = err
-			record(header)
-			return res, fmt.Errorf("wfm: staging inputs: %w", err)
-		}
+	if err := m.stageHeader(w, res, start); err != nil {
+		return res, err
 	}
-	header.End = time.Since(start)
-	record(header)
-	res.Phases = append(res.Phases, []string{HeaderName})
 
 	var sem chan struct{}
 	if m.opts.MaxParallel > 0 {
@@ -218,31 +329,33 @@ func (m *Manager) Run(ctx context.Context, w *wfformat.Workflow) (*Result, error
 		}
 
 		var wg sync.WaitGroup
-		results := make([]*TaskResult, len(phase))
+		// One contiguous allocation for the whole phase instead of one
+		// heap object per task — wide fan-out phases dispatch hundreds.
+		results := make([]TaskResult, len(phase))
+		ready := time.Since(start)
 		for i, name := range phase {
 			wg.Add(1)
-			go func(i int, task *wfformat.Task) {
+			go func(tr *TaskResult, task *wfformat.Task) {
 				defer wg.Done()
 				if sem != nil {
 					sem <- struct{}{}
 					defer func() { <-sem }()
 				}
-				tr := &TaskResult{
-					Name:     task.Name,
-					Category: task.Category,
-					Phase:    pi + 1,
-					Start:    time.Since(start),
-				}
+				tr.Name = task.Name
+				tr.Category = task.Category
+				tr.Phase = pi + 1
+				tr.Ready = ready
+				tr.Start = time.Since(start)
 				tr.Response, tr.Err = m.invoke(ctx, task)
 				tr.End = time.Since(start)
-				results[i] = tr
-			}(i, w.Tasks[name])
+			}(&results[i], w.Tasks[name])
 		}
 		wg.Wait()
 
 		var failed []string
 		var errs []error
-		for _, tr := range results {
+		for i := range results {
+			tr := &results[i]
 			record(tr)
 			if tr.Err != nil {
 				failed = append(failed, tr.Name)
@@ -338,9 +451,19 @@ func (m *Manager) invoke(ctx context.Context, task *wfformat.Task) (*wfbench.Res
 	}
 }
 
+// encodeBufs recycles JSON request buffers across invocations: a wide
+// fan-out phase issues hundreds of simultaneous POSTs, and one pooled
+// buffer per in-flight request beats one fresh allocation per call.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // invokeOnce performs a single HTTP invocation. retriable reports
 // whether a failure is worth retrying (network error or 5xx).
 func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfbench.Response, retriable bool, _ error) {
+	if len(task.Command.Arguments) == 0 {
+		// validateRunnable rejects this up front; guard again so a
+		// manager misuse cannot panic mid-flight.
+		return nil, false, fmt.Errorf("wfm: %s: no argument block", task.Name)
+	}
 	arg := task.Command.Arguments[0]
 	req := wfbench.Request{
 		Name:       arg.Name,
@@ -352,11 +475,15 @@ func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfben
 		Inputs:     arg.Inputs,
 		Workdir:    arg.Workdir,
 	}
-	body, err := json.Marshal(&req)
-	if err != nil {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	// The buffer backs the request body, which Do reads fully before
+	// returning, so returning it to the pool afterwards is safe.
+	defer encodeBufs.Put(buf)
+	if err := json.NewEncoder(buf).Encode(&req); err != nil {
 		return nil, false, fmt.Errorf("wfm: %s: encode: %w", task.Name, err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, task.Command.APIURL, bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, task.Command.APIURL, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return nil, false, fmt.Errorf("wfm: %s: %w", task.Name, err)
 	}
