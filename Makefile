@@ -16,7 +16,11 @@ tier1: build test
 vet:
 	$(GO) vet ./...
 
+# Pre-build the race-instrumented packages so compilation of later
+# packages does not overlap running test binaries — the wall-clock
+# shape tests are timing-sensitive on small machines.
 race:
+	$(GO) build -race ./...
 	$(GO) test -race ./...
 
 # check is the pre-merge bar: tier1 plus vet and the race detector.

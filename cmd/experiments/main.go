@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"wfserverless/internal/experiments"
 	"wfserverless/internal/recipes"
+	"wfserverless/internal/wfbench"
 	"wfserverless/internal/wfformat"
 	"wfserverless/internal/wfgen"
 	"wfserverless/internal/wfm"
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | all")
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | all")
 		small     = flag.Int("small", 30, "small workflow size")
 		large     = flag.Int("large", 120, "large workflow size")
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
@@ -32,6 +34,12 @@ func main() {
 		timeScale = flag.Float64("time-scale", 0.02, "nominal-to-wall compression")
 		schedule  = flag.String("schedule", "phases", "workflow-manager scheduling: phases (paper) or dependency (event-driven)")
 		csvPath   = flag.String("csv", "", "also append suite CSVs to this file")
+
+		// Fault profile for -suite resilience.
+		faultError  = flag.Float64("fault-error-rate", 0.3, "resilience suite: probability of an injected 500")
+		faultReject = flag.Float64("fault-reject-rate", 0.05, "resilience suite: probability of an injected 429")
+		faultLatMS  = flag.Float64("fault-latency-ms", 10, "resilience suite: injected latency spike, wall ms")
+		faultSeed   = flag.Int64("fault-seed", 13, "resilience suite: fault sequence seed")
 	)
 	flag.Parse()
 
@@ -87,6 +95,8 @@ func main() {
 	switch *suite {
 	case "concurrent":
 		runConcurrent(ctx, sz, *seed, tn)
+	case "resilience":
+		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed)
 	case "design":
 		printDesign()
 	case "table2":
@@ -139,6 +149,38 @@ func runConcurrent(ctx context.Context, sz experiments.Sizes, seed int64, tn exp
 		}
 		fmt.Printf("%-12s %10.1f %12.1f %11.2f %9.1f %9.2f\n",
 			m.Paradigm, m.MakespanS, m.SumSoloS, m.Interleave, m.MeanCPUCores, m.MeanMemGB)
+	}
+	fmt.Println()
+}
+
+// runResilience executes the flaky-endpoint experiment: a workflow
+// against a fault-injecting WfBench service, with retries, backoff, and
+// the circuit breaker absorbing the chaos, in both scheduling modes.
+func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64) {
+	cfg := experiments.ResilienceConfig{
+		Recipe:    "blast",
+		NumTasks:  size,
+		Seed:      seed,
+		TimeScale: timeScale,
+		Profile: wfbench.FaultProfile{
+			ErrorRate:     errorRate,
+			RejectRate:    rejectRate,
+			RetryAfter:    0.25 * timeScale,
+			LatencyRate:   0.2,
+			Latency:       time.Duration(latencyMS * float64(time.Millisecond)),
+			LatencyJitter: time.Duration(latencyMS * float64(time.Millisecond)),
+			Seed:          faultSeed,
+		},
+		Breaker: experiments.DefaultResilienceBreaker(),
+	}
+	fmt.Printf("== Resilience: %s-%d through a faulty endpoint (error %.2f, reject %.2f, latency %.0fms) ==\n",
+		cfg.Recipe, size, errorRate, rejectRate, latencyMS)
+	ms, err := experiments.Resilience(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteResilienceTable(os.Stdout, ms); err != nil {
+		fatal(err)
 	}
 	fmt.Println()
 }

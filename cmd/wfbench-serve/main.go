@@ -33,6 +33,19 @@ func main() {
 		burn      = flag.Bool("burn", true, "really burn CPU at the duty cycle (false: sleep)")
 		timeScale = flag.Float64("time-scale", 1.0, "nominal-second to wall-second factor")
 		inputWait = flag.Duration("input-wait", 10*time.Second, "max wait for input files")
+
+		// Fault-injection profile: any non-zero rate wraps the service in
+		// a wfbench.Injector — the chaos endpoint for exercising the
+		// workflow manager's retries, timeouts, and circuit breaker.
+		faultError      = flag.Float64("fault-error-rate", 0, "probability of answering 500 without executing")
+		faultReject     = flag.Float64("fault-reject-rate", 0, "probability of answering 429 Too Many Requests")
+		faultRetryAfter = flag.Float64("fault-retry-after", 0, "Retry-After hint (seconds) on injected 429s")
+		faultLatRate    = flag.Float64("fault-latency-rate", 0, "probability of delaying a request")
+		faultLatency    = flag.Duration("fault-latency", 0, "base injected delay")
+		faultLatJitter  = flag.Duration("fault-latency-jitter", 0, "uniform extra delay on top of -fault-latency")
+		faultHangRate   = flag.Float64("fault-hang-rate", 0, "probability of hanging until the client gives up")
+		faultMaxHang    = flag.Duration("fault-max-hang", 0, "upper bound on an injected hang (0: 30s)")
+		faultSeed       = flag.Int64("fault-seed", 0, "seed for the fault sequence (0: fixed default)")
 	)
 	flag.Parse()
 
@@ -58,9 +71,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var handler http.Handler = svc
+	profile := wfbench.FaultProfile{
+		ErrorRate:     *faultError,
+		RejectRate:    *faultReject,
+		RetryAfter:    *faultRetryAfter,
+		LatencyRate:   *faultLatRate,
+		Latency:       *faultLatency,
+		LatencyJitter: *faultLatJitter,
+		HangRate:      *faultHangRate,
+		MaxHang:       *faultMaxHang,
+		Seed:          *faultSeed,
+	}
+	if profile.Active() {
+		inj, err := wfbench.NewInjector(svc, profile)
+		if err != nil {
+			fatal(err)
+		}
+		handler = inj
+		log.Printf("wfbench-serve: fault injection on: error=%.2f reject=%.2f (retry-after %gs) latency=%.2f@%v+%v hang=%.2f",
+			profile.ErrorRate, profile.RejectRate, profile.RetryAfter,
+			profile.LatencyRate, profile.Latency, profile.LatencyJitter, profile.HangRate)
+	}
 	log.Printf("wfbench-serve: listening on %s, %d workers, workdir %s, keep-mem=%v burn=%v",
 		*addr, *workers, drive.Root(), *keepMem, *burn)
-	if err := http.ListenAndServe(*addr, svc); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
 }

@@ -44,6 +44,15 @@ func main() {
 		schedule  = flag.String("schedule", "phases", "scheduling mode: phases (paper barriers) or dependency (event-driven)")
 		eager     = flag.Bool("eager", false, "shorthand for -schedule dependency")
 		retries   = flag.Int("retries", 0, "retry transient invocation failures this many times")
+
+		retryBackoff    = flag.Float64("retry-backoff", 0, "base retry backoff, nominal seconds (full-jitter exponential)")
+		retryBackoffMax = flag.Float64("retry-backoff-max", 0, "backoff ceiling, nominal seconds (0: 30)")
+		taskTimeout     = flag.Float64("task-timeout", 0, "whole-task deadline across all attempts, nominal seconds (0: none)")
+
+		breakerOn        = flag.Bool("breaker", false, "enable the per-endpoint circuit breaker")
+		breakerThreshold = flag.Float64("breaker-threshold", 0, "failure rate that opens the breaker (0: 0.5)")
+		breakerWindow    = flag.Int("breaker-window", 0, "sliding window of attempts per endpoint (0: 20)")
+		breakerCooldown  = flag.Float64("breaker-cooldown", 0, "open-state cooldown before probing, nominal seconds (0: 5)")
 	)
 	flag.Parse()
 	if *workflow == "" {
@@ -71,12 +80,21 @@ func main() {
 		fatal(err)
 	}
 	mgr, err := wfm.New(wfm.Options{
-		Drive:       drive,
-		TimeScale:   *timeScale,
-		PhaseDelay:  *phaseWait,
-		MaxParallel: *maxPar,
-		Retries:     *retries,
-		Scheduling:  mode,
+		Drive:           drive,
+		TimeScale:       *timeScale,
+		PhaseDelay:      *phaseWait,
+		MaxParallel:     *maxPar,
+		Retries:         *retries,
+		RetryBackoff:    *retryBackoff,
+		RetryBackoffMax: *retryBackoffMax,
+		TaskTimeout:     *taskTimeout,
+		Scheduling:      mode,
+		Breaker: wfm.BreakerOptions{
+			Enabled:          *breakerOn,
+			FailureThreshold: *breakerThreshold,
+			Window:           *breakerWindow,
+			Cooldown:         *breakerCooldown,
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -143,6 +161,13 @@ func printResult(res *wfm.Result, verbose bool) {
 	}
 	if n > 0 {
 		fmt.Printf("queueing:  %v mean ready->start\n", queue/time.Duration(n))
+	}
+	for _, msg := range res.Warnings {
+		fmt.Printf("warning:   %s\n", msg)
+	}
+	for _, bt := range res.Breakers {
+		fmt.Printf("breaker:   %s %s->%s at %v (failure rate %.2f)\n",
+			bt.Endpoint, bt.From, bt.To, bt.At.Round(time.Millisecond), bt.FailureRate)
 	}
 	if len(res.Failed) > 0 {
 		fmt.Printf("FAILED:    %v\n", res.Failed)

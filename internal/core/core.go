@@ -94,6 +94,15 @@ type SessionConfig struct {
 	// is wfm.SchedulePhases (the paper's phase barriers).
 	Scheduling wfm.Scheduling
 
+	// Resilience knobs, passed through to the workflow manager: retry
+	// budget, backoff shape, per-task deadline, and the per-endpoint
+	// circuit breaker. All durations are nominal seconds.
+	Retries         int
+	RetryBackoff    float64
+	RetryBackoffMax float64
+	TaskTimeout     float64
+	Breaker         wfm.BreakerOptions
+
 	// SampleInterval is the telemetry period in nominal seconds; zero
 	// defaults to 1 (the paper's 1 Hz PCP sampling).
 	SampleInterval float64
@@ -160,12 +169,17 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 
 	s.manager, err = wfm.New(wfm.Options{
-		Drive:       s.drive,
-		TimeScale:   cfg.TimeScale,
-		PhaseDelay:  cfg.PhaseDelay,
-		InputWait:   cfg.InputWait,
-		MaxParallel: cfg.MaxParallel,
-		Scheduling:  cfg.Scheduling,
+		Drive:           s.drive,
+		TimeScale:       cfg.TimeScale,
+		PhaseDelay:      cfg.PhaseDelay,
+		InputWait:       cfg.InputWait,
+		MaxParallel:     cfg.MaxParallel,
+		Scheduling:      cfg.Scheduling,
+		Retries:         cfg.Retries,
+		RetryBackoff:    cfg.RetryBackoff,
+		RetryBackoffMax: cfg.RetryBackoffMax,
+		TaskTimeout:     cfg.TaskTimeout,
+		Breaker:         cfg.Breaker,
 	})
 	if err != nil {
 		s.Close()

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/translator"
+	"wfserverless/internal/wfbench"
+	"wfserverless/internal/wfformat"
+	"wfserverless/internal/wfgen"
+	"wfserverless/internal/wfm"
+)
+
+// ResilienceConfig parameterizes the flaky-endpoint experiment: one
+// workflow executed against a WfBench service wrapped in a fault
+// injector, with the workflow manager's resilience layer (retries,
+// jittered backoff, per-task timeouts, circuit breaker) switched on.
+type ResilienceConfig struct {
+	// Recipe / NumTasks / Seed pick the workflow (defaults: blast, 60, 1).
+	Recipe   string
+	NumTasks int
+	Seed     int64
+
+	// TimeScale compresses nominal durations (default 0.02, as in
+	// DefaultTunables).
+	TimeScale float64
+
+	// Profile is the fault mix injected in front of the service.
+	Profile wfbench.FaultProfile
+
+	// Workers sizes the WfBench service pool (default 16).
+	Workers int
+
+	// Manager knobs (nominal seconds); zero values fall back to
+	// retry-friendly defaults documented in EXPERIMENTS.md.
+	Retries         int
+	RetryBackoff    float64
+	RetryBackoffMax float64
+	TaskTimeout     float64
+	InputWait       float64
+	MaxParallel     int
+	Breaker         wfm.BreakerOptions
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	if c.Recipe == "" {
+		c.Recipe = "blast"
+	}
+	if c.NumTasks == 0 {
+		c.NumTasks = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 0.02
+	}
+	if c.Workers == 0 {
+		c.Workers = 16
+	}
+	if c.Retries == 0 {
+		c.Retries = 6
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 0.5
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 8
+	}
+	if c.InputWait == 0 {
+		c.InputWait = 30
+	}
+	if c.MaxParallel == 0 {
+		c.MaxParallel = 512
+	}
+	return c
+}
+
+// DefaultResilienceBreaker returns breaker settings for the
+// flaky-endpoint experiment: armed, but with a threshold high enough
+// that a statistically noisy (rather than dead) endpoint does not trip
+// it, so runs complete through retries.
+func DefaultResilienceBreaker() wfm.BreakerOptions {
+	return wfm.BreakerOptions{Enabled: true, FailureThreshold: 0.9, MinSamples: 20}
+}
+
+// ResilienceMeasurement records one scheduling mode's run through the
+// fault injector.
+type ResilienceMeasurement struct {
+	Scheduling string
+	Workflow   string
+	Tasks      int
+
+	MakespanS float64
+	Wall      time.Duration
+
+	// Attempts sums invocation attempts over all tasks; Retries is the
+	// surplus over one attempt per task.
+	Attempts int
+	Retries  int
+	Failed   int
+	Warnings int
+
+	// Faults is what the injector actually did to the run.
+	Faults wfbench.FaultStats
+	// Breakers are the circuit transitions observed, in time order.
+	Breakers []wfm.BreakerTransition
+}
+
+// Resilience runs the flaky-endpoint experiment in both scheduling
+// modes: each mode gets a fresh drive, service, and injector (same
+// seed, same fault mix) so the two runs face statistically identical
+// adversity.
+func Resilience(ctx context.Context, cfg ResilienceConfig) ([]ResilienceMeasurement, error) {
+	cfg = cfg.withDefaults()
+	base, err := wfgen.Generate(wfgen.Spec{Recipe: cfg.Recipe, NumTasks: cfg.NumTasks, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ResilienceMeasurement
+	for _, mode := range []wfm.Scheduling{wfm.SchedulePhases, wfm.ScheduleDependency} {
+		m, err := resilienceRun(ctx, cfg, base, mode)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, *m)
+	}
+	return out, nil
+}
+
+func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Workflow, mode wfm.Scheduling) (*ResilienceMeasurement, error) {
+	drive := sharedfs.NewMem()
+	bench, err := wfbench.New(wfbench.Config{Drive: drive, TimeScale: cfg.TimeScale})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := wfbench.NewService(bench, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	inj, err := wfbench.NewInjector(svc, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: inj}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	w, err := translator.LocalContainer(base.Clone(), translator.LocalContainerOptions{
+		BaseURL: "http://" + ln.Addr().String(),
+		Workdir: "shared",
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mgr, err := wfm.New(wfm.Options{
+		Drive:           drive,
+		TimeScale:       cfg.TimeScale,
+		PhaseDelay:      1,
+		InputWait:       cfg.InputWait,
+		MaxParallel:     cfg.MaxParallel,
+		Scheduling:      mode,
+		Retries:         cfg.Retries,
+		RetryBackoff:    cfg.RetryBackoff,
+		RetryBackoffMax: cfg.RetryBackoffMax,
+		TaskTimeout:     cfg.TaskTimeout,
+		Breaker:         cfg.Breaker,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res, runErr := mgr.Run(ctx, w)
+	if runErr != nil {
+		return nil, fmt.Errorf("experiments: resilience %s (%s): %w", base.Name, mode, runErr)
+	}
+
+	m := &ResilienceMeasurement{
+		Scheduling: mode.String(),
+		Workflow:   res.Workflow,
+		Tasks:      w.Len(),
+		MakespanS:  res.Makespan,
+		Wall:       res.Wall,
+		Failed:     len(res.Failed),
+		Warnings:   len(res.Warnings),
+		Faults:     inj.Stats(),
+		Breakers:   append([]wfm.BreakerTransition(nil), res.Breakers...),
+	}
+	for name, tr := range res.Tasks {
+		if name == wfm.HeaderName || name == wfm.TailName {
+			continue
+		}
+		m.Attempts += tr.Attempts
+	}
+	m.Retries = m.Attempts - m.Tasks
+	return m, nil
+}
+
+// WriteResilienceTable renders the measurements as an aligned table.
+func WriteResilienceTable(w io.Writer, ms []ResilienceMeasurement) error {
+	if _, err := fmt.Fprintf(w, "%-12s %-22s %6s %9s %8s %7s %7s %7s %7s %6s %9s\n",
+		"scheduling", "workflow", "tasks", "makespanS", "attempts", "retries", "faults", "rejects", "delays", "failed", "breakerEvt"); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "%-12s %-22s %6d %9.1f %8d %7d %7d %7d %7d %6d %9d\n",
+			m.Scheduling, m.Workflow, m.Tasks, m.MakespanS,
+			m.Attempts, m.Retries, m.Faults.Errors, m.Faults.Rejects, m.Faults.Delays,
+			m.Failed, len(m.Breakers)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,6 +53,14 @@ type Tunables struct {
 	// -t 1sec).
 	SampleInterval float64
 
+	// Resilience knobs forwarded to the workflow manager (nominal
+	// seconds): see wfm.Options for semantics.
+	Retries         int
+	RetryBackoff    float64
+	RetryBackoffMax float64
+	TaskTimeout     float64
+	Breaker         wfm.BreakerOptions
+
 	// InstantScaleUp is the autoscaler-ramp ablation knob: skip the
 	// KPA-style doubling and create every needed pod in one tick.
 	InstantScaleUp bool
@@ -134,13 +142,18 @@ func SessionConfig(spec Spec, tn Tunables) (core.SessionConfig, error) {
 		return core.SessionConfig{}, fmt.Errorf("experiments: unknown platform kind %q", spec.Kind)
 	}
 	return core.SessionConfig{
-		TimeScale:      tn.TimeScale,
-		Platform:       pc,
-		PhaseDelay:     tn.PhaseDelay,
-		InputWait:      tn.InputWait,
-		MaxParallel:    tn.MaxParallel,
-		Scheduling:     tn.Scheduling,
-		SampleInterval: tn.SampleInterval,
+		TimeScale:       tn.TimeScale,
+		Platform:        pc,
+		PhaseDelay:      tn.PhaseDelay,
+		InputWait:       tn.InputWait,
+		MaxParallel:     tn.MaxParallel,
+		Scheduling:      tn.Scheduling,
+		SampleInterval:  tn.SampleInterval,
+		Retries:         tn.Retries,
+		RetryBackoff:    tn.RetryBackoff,
+		RetryBackoffMax: tn.RetryBackoffMax,
+		TaskTimeout:     tn.TaskTimeout,
+		Breaker:         tn.Breaker,
 	}, nil
 }
 

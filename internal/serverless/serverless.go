@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -338,13 +339,28 @@ func (p *Platform) Failures() int64 { return p.failures.Load() }
 // ScaleStalls returns autoscaler ticks that could not place a needed pod.
 func (p *Platform) ScaleStalls() int64 { return p.scaleStalls.Load() }
 
+// ErrOverloaded is returned when an invocation cannot be accepted
+// because the service's queue is full — backpressure the caller should
+// respond to by retrying later. The ingress maps it to 429.
+var ErrOverloaded = errors.New("serverless: overloaded")
+
+// ErrStopped is returned for invocations arriving after Close. The
+// ingress maps it to 503.
+var ErrStopped = errors.New("serverless: platform stopped")
+
 // Invoke executes one function on the named service, bypassing HTTP.
 // The ingress handler and in-process callers share this path.
 func (p *Platform) Invoke(ctx context.Context, serviceName string, req *wfbench.Request) (*wfbench.Response, error) {
 	p.mu.Lock()
 	svc := p.services[serviceName]
+	stopped := p.stopped
 	p.mu.Unlock()
 	if svc == nil {
+		if stopped {
+			// Stop tears the service map down, so report shutdown, not
+			// a configuration mistake.
+			return nil, fmt.Errorf("serverless: %s: %w", serviceName, ErrStopped)
+		}
 		return nil, fmt.Errorf("serverless: no such service %q", serviceName)
 	}
 	p.requests.Add(1)
@@ -355,10 +371,16 @@ func (p *Platform) Invoke(ctx context.Context, serviceName string, req *wfbench.
 	case svc.queue <- inv:
 	case <-ctx.Done():
 		p.failures.Add(1)
-		return nil, fmt.Errorf("serverless: %s: queue full: %w", serviceName, ctx.Err())
+		// Distinguish overload from a caller that simply gave up: only
+		// a full queue is the platform's fault, and only that case
+		// should read as 429-retry-later to the workflow manager.
+		if len(svc.queue) >= cap(svc.queue) {
+			return nil, fmt.Errorf("serverless: %s: queue full: %w: %w", serviceName, ErrOverloaded, ctx.Err())
+		}
+		return nil, fmt.Errorf("serverless: %s: %w", serviceName, ctx.Err())
 	case <-p.stopCh:
 		p.failures.Add(1)
-		return nil, errors.New("serverless: platform stopped")
+		return nil, fmt.Errorf("serverless: %s: %w", serviceName, ErrStopped)
 	}
 	select {
 	case r := <-inv.respCh:
@@ -446,7 +468,17 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if err != nil {
 		if resp == nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			// Platform-level failures carry retry semantics: overload
+			// is 429 with a Retry-After hint of one autoscale period
+			// (the soonest capacity can change), shutdown and anything
+			// else without a response is 503.
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, ErrOverloaded) {
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After",
+					strconv.FormatFloat(p.opts.scaled(p.opts.AutoscalePeriod).Seconds(), 'f', -1, 64))
+			}
+			http.Error(w, err.Error(), code)
 			return
 		}
 		status = http.StatusInternalServerError

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -459,5 +461,86 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestQueueFullIsOverloaded(t *testing.T) {
+	small := cluster.New(cluster.NewNode(cluster.NodeSpec{Name: "t", Cores: 1, MemBytes: 1 << 30}))
+	opts := fastOpts(small, sharedfs.NewMem())
+	opts.QueueCapacity = 1
+	p := startPlatform(t, opts)
+	// Unplaceable service: the single queue slot fills and never drains.
+	if err := p.Apply(ServiceConfig{Name: "s", Workers: 1, CPURequestPerWorker: 4}); err != nil {
+		t.Fatal(err)
+	}
+	fill := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		close(fill)
+		p.Invoke(ctx, "s", benchReq("a", 1))
+	}()
+	<-fill
+	waitUntil(t, time.Second, func() bool { return p.Stats().QueueDepth == 1 }, "queue never filled")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := p.Invoke(ctx, "s", benchReq("b", 1))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestIngressMapsOverloadTo429(t *testing.T) {
+	small := cluster.New(cluster.NewNode(cluster.NodeSpec{Name: "t", Cores: 1, MemBytes: 1 << 30}))
+	opts := fastOpts(small, sharedfs.NewMem())
+	opts.QueueCapacity = 1
+	p := startPlatform(t, opts)
+	if err := p.Apply(ServiceConfig{Name: "s", Workers: 1, CPURequestPerWorker: 4}); err != nil {
+		t.Fatal(err)
+	}
+	fill := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		close(fill)
+		p.Invoke(ctx, "s", benchReq("a", 1))
+	}()
+	<-fill
+	waitUntil(t, time.Second, func() bool { return p.Stats().QueueDepth == 1 }, "queue never filled")
+
+	body, _ := json.Marshal(benchReq("b", 1))
+	req := httptest.NewRequest(http.MethodPost, "/s/wfbench", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req.WithContext(ctx))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %q", rec.Code, rec.Body.String())
+	}
+	ra, err := strconv.ParseFloat(rec.Header().Get("Retry-After"), 64)
+	if err != nil || ra <= 0 {
+		t.Fatalf("Retry-After = %q, want positive seconds", rec.Header().Get("Retry-After"))
+	}
+}
+
+func TestIngressMapsStoppedTo503(t *testing.T) {
+	opts := fastOpts(cluster.PaperTestbed(), sharedfs.NewMem())
+	p := startPlatform(t, opts)
+	if err := p.Apply(ServiceConfig{Name: "s", Workers: 1, CPURequestPerWorker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	_, err := p.Invoke(context.Background(), "s", benchReq("a", 1))
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	body, _ := json.Marshal(benchReq("b", 1))
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/s/wfbench", bytes.NewReader(body)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatal("stopped platform sent a Retry-After hint")
 	}
 }

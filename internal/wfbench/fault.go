@@ -1,0 +1,198 @@
+package wfbench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultProfile configures the Injector: how often and how a wrapped
+// wfbench endpoint misbehaves. All rates are probabilities in [0, 1]
+// evaluated independently per request, in the order hang, latency,
+// reject, error. A zero profile injects nothing.
+type FaultProfile struct {
+	// ErrorRate is the probability of answering 500 without executing.
+	ErrorRate float64
+	// RejectRate is the probability of answering 429 Too Many Requests
+	// with a Retry-After header, modelling platform overload.
+	RejectRate float64
+	// RetryAfter is the hint (in seconds) sent with injected 429s.
+	// Zero omits the header.
+	RetryAfter float64
+	// LatencyRate is the probability of delaying a request before it
+	// reaches the wrapped handler.
+	LatencyRate float64
+	// Latency is the base injected delay; LatencyJitter adds a uniform
+	// random extra on top.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// HangRate is the probability of never answering: the injector
+	// holds the request until the client gives up (request context
+	// cancelled) or MaxHang elapses, whichever is first. This is the
+	// stalled-pod failure mode per-task timeouts exist for.
+	HangRate float64
+	// MaxHang bounds a hang so a profile cannot wedge the server
+	// forever. Zero means 30s.
+	MaxHang time.Duration
+	// Seed makes the fault sequence reproducible. Zero seeds from a
+	// fixed default so runs are deterministic unless varied explicitly.
+	Seed int64
+}
+
+// Active reports whether the profile injects any fault at all.
+func (p FaultProfile) Active() bool {
+	return p.ErrorRate > 0 || p.RejectRate > 0 || p.LatencyRate > 0 || p.HangRate > 0
+}
+
+func (p FaultProfile) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ErrorRate", p.ErrorRate},
+		{"RejectRate", p.RejectRate},
+		{"LatencyRate", p.LatencyRate},
+		{"HangRate", p.HangRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("wfbench: fault %s = %v, want [0, 1]", r.name, r.v)
+		}
+	}
+	if p.RetryAfter < 0 {
+		return fmt.Errorf("wfbench: fault RetryAfter = %v, want >= 0", p.RetryAfter)
+	}
+	if p.Latency < 0 || p.LatencyJitter < 0 || p.MaxHang < 0 {
+		return fmt.Errorf("wfbench: fault durations must be >= 0")
+	}
+	return nil
+}
+
+// FaultStats counts what an Injector actually did.
+type FaultStats struct {
+	Errors  int64 // injected 500s
+	Rejects int64 // injected 429s
+	Hangs   int64 // requests held until client abandon or MaxHang
+	Delays  int64 // latency injections (request still served)
+	Passed  int64 // requests forwarded to the wrapped handler
+}
+
+// Injector wraps an http.Handler with a configurable failure profile —
+// the chaos side of the testbed, driving the workflow manager's retry,
+// timeout, and circuit-breaker paths without real infrastructure
+// faults. It generalises FlakyEngine from "every Nth run fails" to
+// rate-based error, overload, latency, and hang injection at the HTTP
+// boundary, where the client's transport actually sees it.
+type Injector struct {
+	next    http.Handler
+	profile FaultProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	errors  atomic.Int64
+	rejects atomic.Int64
+	hangs   atomic.Int64
+	delays  atomic.Int64
+	passed  atomic.Int64
+}
+
+// NewInjector wraps next with the given fault profile.
+func NewInjector(next http.Handler, p FaultProfile) (*Injector, error) {
+	if next == nil {
+		return nil, fmt.Errorf("wfbench: injector needs a handler to wrap")
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		next:    next,
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Profile returns the configured fault profile.
+func (in *Injector) Profile() FaultProfile { return in.profile }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() FaultStats {
+	return FaultStats{
+		Errors:  in.errors.Load(),
+		Rejects: in.rejects.Load(),
+		Hangs:   in.hangs.Load(),
+		Delays:  in.delays.Load(),
+		Passed:  in.passed.Load(),
+	}
+}
+
+// draw samples the per-request fault decisions under one lock hold so
+// concurrent requests see independent, reproducible streams.
+func (in *Injector) draw() (hang, delay, reject, fail bool, extra time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p := in.profile
+	hang = p.HangRate > 0 && in.rng.Float64() < p.HangRate
+	delay = p.LatencyRate > 0 && in.rng.Float64() < p.LatencyRate
+	reject = p.RejectRate > 0 && in.rng.Float64() < p.RejectRate
+	fail = p.ErrorRate > 0 && in.rng.Float64() < p.ErrorRate
+	if delay && p.LatencyJitter > 0 {
+		extra = time.Duration(in.rng.Int63n(int64(p.LatencyJitter) + 1))
+	}
+	return
+}
+
+// ServeHTTP implements http.Handler. Health checks pass through
+// unfaulted so orchestration probes stay honest about liveness.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		in.next.ServeHTTP(w, r)
+		return
+	}
+	hang, delay, reject, fail, extra := in.draw()
+	if hang {
+		in.hangs.Add(1)
+		maxHang := in.profile.MaxHang
+		if maxHang <= 0 {
+			maxHang = 30 * time.Second
+		}
+		select {
+		case <-r.Context().Done():
+		case <-time.After(maxHang):
+		}
+		// Whoever is still listening gets a late 500 — a stalled pod
+		// that eventually got reaped.
+		http.Error(w, "wfbench: injected hang expired", http.StatusInternalServerError)
+		return
+	}
+	if delay {
+		in.delays.Add(1)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(in.profile.Latency + extra):
+		}
+	}
+	if reject {
+		in.rejects.Add(1)
+		if in.profile.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.FormatFloat(in.profile.RetryAfter, 'f', -1, 64))
+		}
+		http.Error(w, "wfbench: injected overload", http.StatusTooManyRequests)
+		return
+	}
+	if fail {
+		in.errors.Add(1)
+		http.Error(w, "wfbench: injected fault", http.StatusInternalServerError)
+		return
+	}
+	in.passed.Add(1)
+	in.next.ServeHTTP(w, r)
+}

@@ -1,0 +1,216 @@
+package wfbench
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+func TestInjectorValidation(t *testing.T) {
+	bad := []FaultProfile{
+		{ErrorRate: -0.1},
+		{ErrorRate: 1.5},
+		{RejectRate: 2},
+		{LatencyRate: -1},
+		{HangRate: 1.01},
+		{RetryAfter: -1},
+		{Latency: -time.Second},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(okHandler(), p); err == nil {
+			t.Fatalf("case %d: invalid profile accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewInjector(nil, FaultProfile{}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestInjectorZeroProfilePassesEverything(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Profile().Active() {
+		t.Fatal("zero profile reports active")
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		inj.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if s := inj.Stats(); s.Passed != 50 || s.Errors+s.Rejects+s.Hangs+s.Delays != 0 {
+		t.Fatalf("stats = %+v, want 50 clean passes", s)
+	}
+}
+
+func TestInjectorErrorRateIsTotal(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{ErrorRate: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	inj.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if s := inj.Stats(); s.Errors != 1 || s.Passed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInjectorRejectSendsRetryAfter(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{RejectRate: 1, RetryAfter: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	inj.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "0.25" {
+		t.Fatalf("Retry-After = %q, want 0.25", got)
+	}
+}
+
+func TestInjectorLatencyDelaysButServes(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{
+		LatencyRate: 1,
+		Latency:     20 * time.Millisecond,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	inj.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after delay", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("served after %v, want >= 20ms", elapsed)
+	}
+	if s := inj.Stats(); s.Delays != 1 || s.Passed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInjectorHangHoldsUntilClientGivesUp(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{HangRate: 1, MaxHang: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/wfbench", nil).WithContext(ctx)
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		inj.ServeHTTP(httptest.NewRecorder(), req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang did not release on client abandon")
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("hang released after %v, want >= client deadline", elapsed)
+	}
+	if s := inj.Stats(); s.Hangs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInjectorHangRespectsMaxHang(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{HangRate: 1, MaxHang: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	inj.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("hang lasted %v, want ~MaxHang", elapsed)
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("expired hang answered %d, want 500", rec.Code)
+	}
+}
+
+func TestInjectorHealthzBypassesFaults(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{ErrorRate: 1, RejectRate: 1, HangRate: 1, MaxHang: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	inj.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz got %d through a fully-faulted injector", rec.Code)
+	}
+}
+
+func TestInjectorRatesRoughlyHold(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{ErrorRate: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/8; j++ {
+				inj.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	s := inj.Stats()
+	if s.Errors+s.Passed != n {
+		t.Fatalf("accounting off: %+v", s)
+	}
+	rate := float64(s.Errors) / n
+	if rate < 0.22 || rate > 0.38 {
+		t.Fatalf("observed error rate %.3f, want ~0.3", rate)
+	}
+}
+
+func TestInjectorDeterministicUnderSameSeed(t *testing.T) {
+	outcomes := func(seed int64) string {
+		inj, err := NewInjector(okHandler(), FaultProfile{ErrorRate: 0.4, RejectRate: 0.2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 100; i++ {
+			rec := httptest.NewRecorder()
+			inj.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/wfbench", nil))
+			fmt := map[int]string{200: ".", 429: "r", 500: "e"}
+			b.WriteString(fmt[rec.Code])
+		}
+		return b.String()
+	}
+	if outcomes(9) != outcomes(9) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if outcomes(9) == outcomes(10) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}

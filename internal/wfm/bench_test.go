@@ -105,10 +105,11 @@ func BenchmarkInvokeAllocs(b *testing.B) {
 		b.Fatal(err)
 	}
 	task := synthTask("bench", srv.URL+"/wfbench", nil)
+	rs := m.newResilience(time.Now())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.invoke(context.Background(), task); err != nil {
+		if _, _, err := m.invoke(context.Background(), task, rs); err != nil {
 			b.Fatal(err)
 		}
 	}

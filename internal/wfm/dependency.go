@@ -54,6 +54,8 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 		Tasks:      make(map[string]*TaskResult, w.Len()+2),
 	}
 	start := time.Now()
+	rs := m.newResilience(start)
+	defer func() { res.Breakers = rs.take() }()
 	if err := m.stageHeader(w, res, start); err != nil {
 		return res, err
 	}
@@ -77,7 +79,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 		go func() {
 			defer wg.Done()
 			for item := range dispatch {
-				completions <- m.runTask(runCtx, item, start)
+				completions <- m.runTask(runCtx, item, start, rs)
 			}
 		}()
 	}
@@ -99,9 +101,12 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 	// Event loop: runs in this goroutine only, so scheduler and result
 	// state need no locking. Every task is accounted exactly once —
 	// via a worker completion or via skip propagation from a failed
-	// ancestor — so the loop terminates when the count drains.
+	// ancestor — so the loop terminates when the count drains. A
+	// scheduler-state error breaks out instead of returning so the
+	// worker pool is always drained below, never leaked.
+	var stateErr error
 	enqueue(sched.TakeReady())
-	for accounted := 0; accounted < n; {
+	for accounted := 0; accounted < n && stateErr == nil; {
 		tr := <-completions
 		accounted++
 		record(tr)
@@ -111,7 +116,8 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 			}
 			skipped, serr := sched.Fail(tr.Name)
 			if serr != nil {
-				return res, fmt.Errorf("wfm: scheduler state: %w", serr)
+				stateErr = fmt.Errorf("wfm: scheduler state: %w", serr)
+				break
 			}
 			now := time.Since(start)
 			for _, s := range skipped {
@@ -130,12 +136,22 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 		}
 		newly, serr := sched.Complete(tr.Name)
 		if serr != nil {
-			return res, fmt.Errorf("wfm: scheduler state: %w", serr)
+			stateErr = fmt.Errorf("wfm: scheduler state: %w", serr)
+			break
 		}
 		enqueue(newly)
 	}
+	if stateErr != nil {
+		// Abort in-flight work before draining; queued items still run
+		// (and fail fast on the cancelled context) so workers exit.
+		cancel()
+	}
 	close(dispatch)
 	wg.Wait()
+	if stateErr != nil {
+		sort.Strings(res.Failed)
+		return res, stateErr
+	}
 
 	// Report the static phase structure for comparability with
 	// SchedulePhases output (analysis, Gantt, per-phase breakdowns).
@@ -164,7 +180,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 
 // runTask executes one dispatched task on a worker: wait for its input
 // files (event-driven on drives that support watching), then invoke.
-func (m *Manager) runTask(ctx context.Context, item dispatchItem, start time.Time) *TaskResult {
+func (m *Manager) runTask(ctx context.Context, item dispatchItem, start time.Time, rs *resilience) *TaskResult {
 	tr := &TaskResult{
 		Name:     item.task.Name,
 		Category: item.task.Category,
@@ -189,7 +205,7 @@ func (m *Manager) runTask(ctx context.Context, item dispatchItem, start time.Tim
 		}
 	}
 	tr.Start = time.Since(start)
-	tr.Response, tr.Err = m.invoke(ctx, item.task)
+	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, item.task, rs)
 	tr.End = time.Since(start)
 	return tr
 }

@@ -339,7 +339,7 @@ func TestInvokeOnceGuardsEmptyArguments(t *testing.T) {
 	m := fastManager(t, sharedfs.NewMem(), nil)
 	task := synthTask("bare", "http://localhost/none", nil)
 	task.Command.Arguments = nil
-	resp, retriable, err := m.invokeOnce(context.Background(), task)
+	resp, retriable, _, err := m.invokeOnce(context.Background(), task)
 	if err == nil || retriable || resp != nil {
 		t.Fatalf("invokeOnce = %v, %v, %v; want non-retriable error", resp, retriable, err)
 	}

@@ -13,12 +13,25 @@ import (
 // analogue of the per-execution result files the paper's artifact stores
 // under experiments/results/workflow_executions.
 type Trace struct {
-	Workflow   string       `json:"workflow"`
-	Scheduling string       `json:"scheduling,omitempty"`
-	Makespan   float64      `json:"makespanSeconds"`
-	WallMS     float64      `json:"wallMilliseconds"`
-	Failed     []string     `json:"failed,omitempty"`
-	Events     []TraceEvent `json:"events"`
+	Workflow   string   `json:"workflow"`
+	Scheduling string   `json:"scheduling,omitempty"`
+	Makespan   float64  `json:"makespanSeconds"`
+	WallMS     float64  `json:"wallMilliseconds"`
+	Failed     []string `json:"failed,omitempty"`
+	// Warnings are non-fatal anomalies the run pressed on through.
+	Warnings []string `json:"warnings,omitempty"`
+	// Breakers are circuit-breaker state transitions, in time order.
+	Breakers []TraceBreakerEvent `json:"breakers,omitempty"`
+	Events   []TraceEvent        `json:"events"`
+}
+
+// TraceBreakerEvent is one circuit-breaker transition in the trace.
+type TraceBreakerEvent struct {
+	Endpoint    string  `json:"endpoint"`
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	AtMS        float64 `json:"atMs"`
+	FailureRate float64 `json:"failureRate"`
 }
 
 // TraceEvent is one function invocation in the trace.
@@ -28,9 +41,12 @@ type TraceEvent struct {
 	Phase    int    `json:"phase"`
 	// ReadyMS is when the scheduler released the task; StartMS-ReadyMS
 	// is the ready->start queueing latency.
-	ReadyMS     float64 `json:"readyMs,omitempty"`
-	StartMS     float64 `json:"startMs"`
-	EndMS       float64 `json:"endMs"`
+	ReadyMS float64 `json:"readyMs,omitempty"`
+	StartMS float64 `json:"startMs"`
+	EndMS   float64 `json:"endMs"`
+	// Attempts is how many invocation attempts the resilience layer
+	// made (> 1 means retries or breaker rejections happened).
+	Attempts    int     `json:"attempts,omitempty"`
 	Pod         string  `json:"pod,omitempty"`
 	ColdStart   bool    `json:"coldStart,omitempty"`
 	OutBytes    int64   `json:"outBytes,omitempty"`
@@ -47,6 +63,16 @@ func TraceOf(res *Result) *Trace {
 		Makespan:   res.Makespan,
 		WallMS:     float64(res.Wall.Microseconds()) / 1000,
 		Failed:     append([]string(nil), res.Failed...),
+		Warnings:   append([]string(nil), res.Warnings...),
+	}
+	for _, bt := range res.Breakers {
+		tr.Breakers = append(tr.Breakers, TraceBreakerEvent{
+			Endpoint:    bt.Endpoint,
+			From:        bt.From,
+			To:          bt.To,
+			AtMS:        float64(bt.At.Microseconds()) / 1000,
+			FailureRate: bt.FailureRate,
+		})
 	}
 	for _, t := range res.Tasks {
 		ev := TraceEvent{
@@ -56,6 +82,7 @@ func TraceOf(res *Result) *Trace {
 			ReadyMS:  float64(t.Ready.Microseconds()) / 1000,
 			StartMS:  float64(t.Start.Microseconds()) / 1000,
 			EndMS:    float64(t.End.Microseconds()) / 1000,
+			Attempts: t.Attempts,
 		}
 		if t.Response != nil {
 			ev.Pod = t.Response.Pod

@@ -118,11 +118,33 @@ type Options struct {
 	// fails; by default a failed phase aborts the run.
 	ContinueOnError bool
 	// Retries re-issues failed invocations up to this many extra
-	// times (transport errors and 5xx responses only), with
-	// RetryBackoff nominal seconds between attempts — basic
+	// times (transport errors, 5xx, and 429 responses only) — basic
 	// fault-tolerance for flaky endpoints.
-	Retries      int
+	Retries int
+	// RetryBackoff is the base delay before the first retry, nominal
+	// seconds. Subsequent retries back off exponentially with full
+	// jitter — each delay is uniform in [0, min(RetryBackoffMax,
+	// RetryBackoff·2^attempt)] — so a burst of failures does not
+	// re-stampede the endpoint in lockstep. A Retry-After carried by a
+	// 429/503 response overrides the schedule for that retry. Zero
+	// keeps retries immediate.
 	RetryBackoff float64
+	// RetryBackoffMax caps any single retry delay, nominal seconds;
+	// zero defaults to 30.
+	RetryBackoffMax float64
+	// TaskTimeout bounds one task's entire invocation — every attempt
+	// plus the backoff sleeps between them — in nominal seconds, so a
+	// stalled pod cannot wedge a worker indefinitely. Zero disables.
+	// Expiry is terminal for the task (ErrTaskTimeout): its time
+	// budget is spent, so no further retries are attempted.
+	TaskTimeout float64
+	// Breaker enables a per-endpoint circuit breaker over invocations:
+	// when an endpoint's recent failure rate crosses the threshold the
+	// breaker opens and sheds attempts immediately (ErrCircuitOpen)
+	// instead of burning Retries × tasks attempts against a dead
+	// service, then probes it half-open after a cooldown. Transitions
+	// are surfaced in Result.Breakers and the trace.
+	Breaker BreakerOptions
 	// SkipStageInputs disables writing the workflow's external input
 	// files to the drive before execution. Staging is on by default
 	// (the zero value), matching the paper's header function; callers
@@ -167,6 +189,15 @@ func New(opts Options) (*Manager, error) {
 	default:
 		return nil, fmt.Errorf("wfm: unknown Scheduling %d", opts.Scheduling)
 	}
+	if opts.Retries < 0 {
+		return nil, errors.New("wfm: negative Retries")
+	}
+	if opts.RetryBackoff < 0 || opts.RetryBackoffMax < 0 || opts.TaskTimeout < 0 {
+		return nil, errors.New("wfm: negative RetryBackoff/RetryBackoffMax/TaskTimeout")
+	}
+	if err := opts.Breaker.validate(); err != nil {
+		return nil, err
+	}
 	return &Manager{opts: opts}, nil
 }
 
@@ -187,6 +218,10 @@ type TaskResult struct {
 	Ready time.Duration
 	Start time.Duration // offset from run start (wall)
 	End   time.Duration
+	// Attempts is how many invocation attempts the resilience layer
+	// made for the task, including attempts shed by an open circuit
+	// breaker; 1 means it succeeded (or failed terminally) first try.
+	Attempts int
 	Response *wfbench.Response
 	Err      error
 }
@@ -219,6 +254,14 @@ type Result struct {
 	Tasks map[string]*TaskResult
 	// Failed lists functions that returned errors, sorted.
 	Failed []string
+	// Warnings records non-fatal anomalies the run pressed on through
+	// (e.g. a phase dispatched under ContinueOnError although its
+	// inputs never appeared on the shared drive).
+	Warnings []string
+	// Breakers lists circuit-breaker state transitions observed during
+	// the run, in time order (empty unless Options.Breaker is enabled
+	// and an endpoint misbehaved).
+	Breakers []BreakerTransition
 }
 
 // PhaseError reports a phase whose functions failed.
@@ -306,6 +349,10 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 	record := func(tr *TaskResult) {
 		res.Tasks[tr.Name] = tr
 	}
+	rs := m.newResilience(start)
+	// Breaker transitions belong in the Result on every exit path,
+	// including aborts and cancellations.
+	defer func() { res.Breakers = rs.take() }()
 
 	// Header: stage external inputs so root functions find their data.
 	if err := m.stageHeader(w, res, start); err != nil {
@@ -324,8 +371,13 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 		}
 		// Check that every input of the phase is on the shared drive,
 		// waiting briefly for stragglers from the previous phase.
-		if err := m.awaitInputs(ctx, w, phase); err != nil && !m.opts.ContinueOnError {
-			return res, fmt.Errorf("wfm: phase %d: %w", pi+1, err)
+		if err := m.awaitInputs(ctx, w, phase); err != nil {
+			if !m.opts.ContinueOnError {
+				return res, fmt.Errorf("wfm: phase %d: %w", pi+1, err)
+			}
+			// The phase still runs — its functions will fail their own
+			// input checks — but the run must record why, not drop it.
+			res.Warnings = append(res.Warnings, fmt.Sprintf("phase %d: %v", pi+1, err))
 		}
 
 		var wg sync.WaitGroup
@@ -346,7 +398,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 				tr.Phase = pi + 1
 				tr.Ready = ready
 				tr.Start = time.Since(start)
-				tr.Response, tr.Err = m.invoke(ctx, task)
+				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, task, rs)
 				tr.End = time.Since(start)
 			}(&results[i], w.Tasks[name])
 		}
@@ -430,25 +482,87 @@ func (m *Manager) awaitInputs(ctx context.Context, w *wfformat.Workflow, phase [
 	return nil
 }
 
-// invoke POSTs one function's WfBench request to its api_url, retrying
-// transient failures per the Retries option.
-func (m *Manager) invoke(ctx context.Context, task *wfformat.Task) (*wfbench.Response, error) {
+// invoke POSTs one function's WfBench request to its api_url through
+// the resilience layer: a per-task deadline (Options.TaskTimeout) over
+// all attempts, retries with full-jitter exponential backoff honouring
+// server Retry-After hints, and the endpoint's circuit breaker. It
+// returns the response, the number of attempts made, and the terminal
+// error if the task failed.
+func (m *Manager) invoke(ctx context.Context, task *wfformat.Task, rs *resilience) (*wfbench.Response, int, error) {
+	tctx := ctx
+	if m.opts.TaskTimeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, m.scaled(m.opts.TaskTimeout))
+		defer cancel()
+	}
+	br := rs.breakerFor(task.Command.APIURL)
 	var resp *wfbench.Response
 	var err error
-	var retriable bool
 	for attempt := 0; ; attempt++ {
-		resp, retriable, err = m.invokeOnce(ctx, task)
-		if err == nil || !retriable || attempt >= m.opts.Retries {
-			return resp, err
+		var retriable bool
+		var retryAfter time.Duration
+		allowed := true
+		if br != nil {
+			allowed, retryAfter = br.allow()
 		}
-		if m.opts.RetryBackoff > 0 {
+		if !allowed {
+			resp, err = nil, fmt.Errorf("wfm: %s: %s: %w", task.Name, task.Command.APIURL, ErrCircuitOpen)
+			retriable = true
+		} else {
+			resp, retriable, retryAfter, err = m.invokeOnce(tctx, task)
+			if br != nil {
+				br.record(classify(ctx, tctx, retriable, err))
+			}
+		}
+		attempts := attempt + 1
+		if err == nil {
+			return resp, attempts, nil
+		}
+		// A cancelled parent context always wins: return its error
+		// promptly, even mid-backoff. The task's own expired deadline
+		// is terminal too, but reported as ErrTaskTimeout so callers
+		// can tell a wedged endpoint from a cancelled run.
+		if cerr := ctx.Err(); cerr != nil {
+			return resp, attempts, cerr
+		}
+		if tctx.Err() != nil {
+			return resp, attempts, fmt.Errorf("wfm: %s: %w after %d attempt(s): %v",
+				task.Name, ErrTaskTimeout, attempts, err)
+		}
+		if !retriable || attempt >= m.opts.Retries {
+			return resp, attempts, err
+		}
+		if delay := m.retryDelay(attempt, retryAfter); delay > 0 {
+			t := time.NewTimer(delay)
 			select {
-			case <-ctx.Done():
-				return resp, ctx.Err()
-			case <-time.After(m.scaled(m.opts.RetryBackoff)):
+			case <-tctx.Done():
+				t.Stop()
+				if cerr := ctx.Err(); cerr != nil {
+					return resp, attempts, cerr
+				}
+				return resp, attempts, fmt.Errorf("wfm: %s: %w during backoff after %d attempt(s): %v",
+					task.Name, ErrTaskTimeout, attempts, err)
+			case <-t.C:
 			}
 		}
 	}
+}
+
+// classify maps one attempt's result onto a breaker outcome: only
+// endpoint-side trouble (transport errors, 5xx, 429, a stall past the
+// task deadline) counts against the endpoint's health; client-side
+// rejections and function-level errors prove the endpoint is serving.
+func classify(ctx, tctx context.Context, retriable bool, err error) attemptOutcome {
+	if err == nil {
+		return outcomeSuccess
+	}
+	if ctx.Err() != nil {
+		return outcomeAborted
+	}
+	if retriable || tctx.Err() != nil {
+		return outcomeFailure
+	}
+	return outcomeSuccess
 }
 
 // encodeBufs recycles JSON request buffers across invocations: a wide
@@ -456,13 +570,37 @@ func (m *Manager) invoke(ctx context.Context, task *wfformat.Task) (*wfbench.Res
 // buffer per in-flight request beats one fresh allocation per call.
 var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// pooledBody serves an encoded request from a pooled buffer and
+// returns the buffer to the pool exactly once, when the transport
+// closes the body. The transport can keep streaming the body after
+// Client.Do has returned — a server may respond before draining the
+// request — so recycling the buffer any earlier would let a concurrent
+// invocation scribble over bytes still being written to the wire.
+type pooledBody struct {
+	r    *bytes.Reader
+	buf  *bytes.Buffer
+	once sync.Once
+}
+
+func newPooledBody(buf *bytes.Buffer) *pooledBody {
+	return &pooledBody{r: bytes.NewReader(buf.Bytes()), buf: buf}
+}
+
+func (b *pooledBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *pooledBody) Close() error {
+	b.once.Do(func() { encodeBufs.Put(b.buf) })
+	return nil
+}
+
 // invokeOnce performs a single HTTP invocation. retriable reports
-// whether a failure is worth retrying (network error or 5xx).
-func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfbench.Response, retriable bool, _ error) {
+// whether a failure is worth retrying (network error, 5xx, or 429);
+// retryAfter carries the server's Retry-After hint when it sent one.
+func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfbench.Response, retriable bool, retryAfter time.Duration, _ error) {
 	if len(task.Command.Arguments) == 0 {
 		// validateRunnable rejects this up front; guard again so a
 		// manager misuse cannot panic mid-flight.
-		return nil, false, fmt.Errorf("wfm: %s: no argument block", task.Name)
+		return nil, false, 0, fmt.Errorf("wfm: %s: no argument block", task.Name)
 	}
 	arg := task.Command.Arguments[0]
 	req := wfbench.Request{
@@ -477,35 +615,40 @@ func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfben
 	}
 	buf := encodeBufs.Get().(*bytes.Buffer)
 	buf.Reset()
-	// The buffer backs the request body, which Do reads fully before
-	// returning, so returning it to the pool afterwards is safe.
-	defer encodeBufs.Put(buf)
 	if err := json.NewEncoder(buf).Encode(&req); err != nil {
-		return nil, false, fmt.Errorf("wfm: %s: encode: %w", task.Name, err)
+		encodeBufs.Put(buf)
+		return nil, false, 0, fmt.Errorf("wfm: %s: encode: %w", task.Name, err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, task.Command.APIURL, bytes.NewReader(buf.Bytes()))
+	body := newPooledBody(buf)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, task.Command.APIURL, body)
 	if err != nil {
-		return nil, false, fmt.Errorf("wfm: %s: %w", task.Name, err)
+		body.Close()
+		return nil, false, 0, fmt.Errorf("wfm: %s: %w", task.Name, err)
 	}
+	hreq.ContentLength = int64(buf.Len())
 	hreq.Header.Set("Content-Type", "application/json")
 	hres, err := m.opts.Client.Do(hreq)
 	if err != nil {
-		return nil, ctx.Err() == nil, fmt.Errorf("wfm: %s: request: %w", task.Name, err)
+		return nil, ctx.Err() == nil, 0, fmt.Errorf("wfm: %s: request: %w", task.Name, err)
 	}
 	defer hres.Body.Close()
 	if hres.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 1024))
-		return nil, hres.StatusCode >= 500,
+		retriable = hres.StatusCode >= 500 || hres.StatusCode == http.StatusTooManyRequests
+		if hres.StatusCode == http.StatusTooManyRequests || hres.StatusCode == http.StatusServiceUnavailable {
+			retryAfter = parseRetryAfter(hres.Header.Get("Retry-After"))
+		}
+		return nil, retriable, retryAfter,
 			fmt.Errorf("wfm: %s: HTTP %d: %s", task.Name, hres.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	var resp wfbench.Response
 	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
-		return nil, false, fmt.Errorf("wfm: %s: decode: %w", task.Name, err)
+		return nil, false, 0, fmt.Errorf("wfm: %s: decode: %w", task.Name, err)
 	}
 	if !resp.OK {
-		return &resp, false, fmt.Errorf("wfm: %s: function error: %s", task.Name, resp.Error)
+		return &resp, false, 0, fmt.Errorf("wfm: %s: function error: %s", task.Name, resp.Error)
 	}
-	return &resp, false, nil
+	return &resp, false, 0, nil
 }
 
 // PhaseStats summarizes per-phase behaviour of a Result, used by the
