@@ -1,6 +1,10 @@
 GO ?= go
+# BENCHTIME tunes the tracked bench suite; CI smoke runs use a short
+# value (e.g. BENCHTIME=1x) so the job bounds on build+vet, not timing.
+BENCHTIME ?= 1s
+BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test tier1 check race bench bench-sched vet clean
+.PHONY: all build test tier1 check race bench bench-all bench-sched vet clean
 
 all: tier1
 
@@ -26,7 +30,24 @@ race:
 # check is the pre-merge bar: tier1 plus vet and the race detector.
 check: tier1 vet race
 
+# bench runs the tracked throughput suite — scheduler drains on
+# chain/fanout/diamond/random DAGs at 1k/10k/100k tasks (CSR vs the
+# map-based baseline), manager scheduling-mode and allocation
+# benchmarks, and invocations/sec against the in-process platform —
+# and records the parsed results in $(BENCHOUT).
 bench:
+	@tmp=$$(mktemp) || exit 1; \
+	( $(GO) test ./internal/dag -run xxx -bench 'SchedulerThroughput|CSRBuild' -benchmem -benchtime $(BENCHTIME) && \
+	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs' -benchmem -benchtime $(BENCHTIME) && \
+	  $(GO) test . -run xxx -bench 'InvocationThroughput' -benchmem -benchtime $(BENCHTIME) \
+	) > $$tmp 2>&1; \
+	status=$$?; cat $$tmp; \
+	if [ $$status -ne 0 ]; then rm -f $$tmp; echo "bench: benchmark run failed" >&2; exit 1; fi; \
+	$(GO) run ./cmd/benchfmt -q -o $(BENCHOUT) < $$tmp; \
+	rm -f $$tmp
+
+# bench-all sweeps every benchmark in the repo (paper figures included).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-sched compares phase-barrier vs dependency-driven scheduling on

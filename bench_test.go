@@ -13,11 +13,16 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
+	"wfserverless/internal/cluster"
 	"wfserverless/internal/experiments"
 	"wfserverless/internal/recipes"
+	"wfserverless/internal/serverless"
+	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfformat"
 	"wfserverless/internal/wfgen"
+	"wfserverless/internal/wfm"
 )
 
 // benchSizes keeps bench iterations short; cmd/experiments raises them.
@@ -265,4 +270,104 @@ func BenchmarkAblationStableWindow(b *testing.B) {
 			b.ReportMetric(m.MakespanS, "makespan_s")
 		})
 	}
+}
+
+// invocationBenchWorkflow builds a root -> (n-1) leaves fan-out whose
+// tasks carry near-zero simulated work, so the measured cost is the
+// invocation pipeline itself: manager dispatch, HTTP round trip,
+// platform routing/decoding, and shared-drive output publication.
+func invocationBenchWorkflow(b *testing.B, n int, ingressURL string) *wfformat.Workflow {
+	b.Helper()
+	w := wfformat.New("invocation-throughput")
+	apiURL := ingressURL + "/wfbench/wfbench"
+	mk := func(name string, inputs []string) *wfformat.Task {
+		out := "out_" + name
+		files := []wfformat.File{{Link: wfformat.LinkOutput, Name: out, SizeInBytes: 1}}
+		for _, in := range inputs {
+			files = append(files, wfformat.File{Link: wfformat.LinkInput, Name: in, SizeInBytes: 1})
+		}
+		return &wfformat.Task{
+			Name: name,
+			Type: wfformat.TypeCompute,
+			Command: wfformat.Command{
+				Program: "wfbench",
+				Arguments: []wfformat.Argument{{
+					Name:       name,
+					PercentCPU: 0.5,
+					CPUWork:    0.001,
+					Out:        map[string]int64{out: 1},
+					Inputs:     inputs,
+				}},
+				APIURL: apiURL,
+			},
+			Files:            files,
+			RuntimeInSeconds: 0.001,
+			Cores:            1,
+			Category:         "synthetic",
+		}
+	}
+	if err := w.AddTask(mk("root", nil)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		leaf := mk(fmt.Sprintf("leaf_%04d", i), []string{"out_root"})
+		if err := w.AddTask(leaf); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Link("root", leaf.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w
+}
+
+// BenchmarkInvocationThroughput measures end-to-end invocations/sec
+// against the in-process serverless platform over real loopback HTTP:
+// a 512-task fan-out in dependency mode, pods pre-warmed so the number
+// isolates the invocation hot path rather than autoscaling.
+func BenchmarkInvocationThroughput(b *testing.B) {
+	const tasks = 512
+	drive := sharedfs.NewMem()
+	p, err := serverless.New(serverless.Options{
+		Cluster:        cluster.PaperTestbed(),
+		Drive:          drive,
+		TimeScale:      0.001,
+		InstantScaleUp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url, err := p.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Apply(serverless.ServiceConfig{
+		Name: "wfbench", Workers: 16, MinScale: 8, MaxScale: 32,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	m, err := wfm.New(wfm.Options{
+		Drive:       drive,
+		TimeScale:   0.001,
+		InputWait:   5000,
+		MaxParallel: 64,
+		Scheduling:  wfm.ScheduleDependency,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := invocationBenchWorkflow(b, tasks, url)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var totalWall time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(context.Background(), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalWall += res.Wall
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tasks)*float64(b.N)/totalWall.Seconds(), "invocations/s")
 }

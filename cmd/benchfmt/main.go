@@ -1,0 +1,136 @@
+// Command benchfmt converts `go test -bench` output into the
+// machine-readable JSON the tracked benchmark suite stores in
+// BENCH_pr3.json. It reads benchmark text on stdin — concatenated
+// output from any number of packages — and emits one JSON document
+// with every benchmark's iteration count and metric pairs (ns/op,
+// B/op, allocs/op, and custom ReportMetric units like tasks/s).
+//
+//	go test -bench Scheduler -benchmem ./internal/dag | benchfmt -o BENCH_pr3.json
+//
+// Input lines are echoed to stderr so a piped run still shows live
+// progress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "", "output file (default stdout)")
+		quiet = flag.Bool("q", false, "do not echo input lines to stderr")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Benchmarks: []Benchmark{},
+	}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	payload, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	payload = append(payload, '\n')
+	if *out == "" {
+		os.Stdout.Write(payload)
+		return
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  v1 u1  v2 u2 ...`
+// result line. Lines that do not look like results (e.g. the bare
+// "BenchmarkFoo" name go test prints with -v) are skipped.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix from the last path segment.
+	if i := strings.LastIndex(name, "-"); i > 0 && !strings.Contains(name[i:], "/") {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(name, "Benchmark"),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfmt:", err)
+	os.Exit(1)
+}

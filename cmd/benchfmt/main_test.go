@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkSchedulerThroughputCSR/random_100000-8 \t 3\t 5319091 ns/op\t 18800205 tasks/s\t 1204752 B/op\t 12 allocs/op"
+	b, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if b.Name != "SchedulerThroughputCSR/random_100000" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	if b.Iterations != 3 {
+		t.Fatalf("iterations = %d", b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 5319091, "tasks/s": 18800205, "B/op": 1204752, "allocs/op": 12}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("%s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineSkipsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",            // -v header line, no fields
+		"BenchmarkFoo 12 garbage", // odd field count
+		"BenchmarkFoo x 12 ns/op", // non-numeric iterations
+		"BenchmarkFoo 12 y ns/op", // non-numeric value
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseBenchLineKeepsHyphenatedNames(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFoo/sub-case-4 \t 10\t 100 ns/op")
+	if !ok {
+		t.Fatal("rejected")
+	}
+	// Only a numeric -P suffix is stripped, not hyphens inside names.
+	if b.Name != "Foo/sub-case" {
+		t.Fatalf("name = %q", b.Name)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wfserverless/internal/experiments"
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | all")
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | scale | all")
 		small     = flag.Int("small", 30, "small workflow size")
 		large     = flag.Int("large", 120, "large workflow size")
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
@@ -40,8 +42,45 @@ func main() {
 		faultReject = flag.Float64("fault-reject-rate", 0.05, "resilience suite: probability of an injected 429")
 		faultLatMS  = flag.Float64("fault-latency-ms", 10, "resilience suite: injected latency spike, wall ms")
 		faultSeed   = flag.Int64("fault-seed", 13, "resilience suite: fault sequence seed")
+
+		// Shape of -suite scale.
+		scaleTasks    = flag.Int("scale-tasks", 100_000, "scale suite: synthetic workflow size")
+		scaleShape    = flag.String("scale-shape", "random", "scale suite: random | chain | fanout")
+		scaleWidth    = flag.Int("scale-width", 64, "scale suite: tasks per layer for the random shape")
+		scaleParallel = flag.Int("scale-parallel", 256, "scale suite: max simultaneous invocations")
+
+		// Profiling of whatever suite runs.
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	mode, err := wfm.ParseScheduling(*schedule)
 	if err != nil {
@@ -111,6 +150,15 @@ func main() {
 		runSuite("fig6", experiments.Figure6)
 	case "fig7":
 		runSuite("fig7", experiments.Figure7)
+	case "scale":
+		runScale(ctx, experiments.ScaleConfig{
+			Tasks:       *scaleTasks,
+			Shape:       *scaleShape,
+			Width:       *scaleWidth,
+			Scheduling:  mode,
+			MaxParallel: *scaleParallel,
+			Seed:        *seed,
+		})
 	case "all":
 		printDesign()
 		printTable2()
@@ -121,6 +169,47 @@ func main() {
 		runSuite("fig7", experiments.Figure7)
 	default:
 		fatal(fmt.Errorf("unknown suite %q", *suite))
+	}
+}
+
+// runScale executes one synthetic large-workflow campaign and prints a
+// single result row; pair with -cpuprofile/-memprofile to see where the
+// hot path spends its time at 100k tasks.
+func runScale(ctx context.Context, cfg experiments.ScaleConfig) {
+	fmt.Printf("== Scale: %d-task %s workflow, %s scheduling ==\n",
+		cfg.Tasks, shapeName(cfg.Shape), cfg.Scheduling)
+	res, err := experiments.Scale(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %10s %10s %12s %12s %10s %10s\n",
+		"shape", "tasks", "edges", "build_ms", "run_ms", "tasks/s", "peak_rss")
+	fmt.Printf("%-10s %10d %10d %12.1f %12.1f %10.0f %10s\n",
+		shapeName(res.Shape), res.Tasks, res.Edges,
+		float64(res.BuildWall.Microseconds())/1e3,
+		float64(res.RunWall.Microseconds())/1e3,
+		res.TasksPerSec, formatBytes(res.PeakRSSBytes))
+	if res.Completed != res.Tasks {
+		fatal(fmt.Errorf("only %d of %d tasks completed", res.Completed, res.Tasks))
+	}
+	fmt.Println()
+}
+
+func shapeName(s string) string {
+	if s == "" {
+		return "random"
+	}
+	return s
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n <= 0:
+		return "n/a"
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(1<<30))
+	default:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		url     = flag.String("url", "http://localhost:8080", "ingress/container base URL for knative/local targets")
 		workdir = flag.String("workdir", "shared", "shared-drive workdir recorded in arguments")
 		out     = flag.String("o", "", "output file (default stdout)")
+		compact = flag.Bool("compact", false, "emit compact JSON for json/knative/local targets (generated instances need no indentation)")
 		suite   = flag.Bool("suite", false, "generate the full 7-recipe benchmark suite instead")
 		sizes   = flag.String("sizes", "50,250", "comma-separated sizes for -suite")
 		dir     = flag.String("dir", "workflows", "output directory for -suite")
@@ -51,21 +52,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	marshal := func(w *wfformat.Workflow) ([]byte, error) {
+		if *compact {
+			return w.MarshalCompact()
+		}
+		return w.Marshal()
+	}
 	var payload []byte
 	switch *target {
 	case "json":
-		payload, err = w.Marshal()
+		payload, err = marshal(w)
 	case "knative":
 		var tw *wfformat.Workflow
 		tw, err = translator.Knative(w, translator.KnativeOptions{IngressURL: *url, Workdir: *workdir})
 		if err == nil {
-			payload, err = tw.Marshal()
+			payload, err = marshal(tw)
 		}
 	case "local":
 		var tw *wfformat.Workflow
 		tw, err = translator.LocalContainer(w, translator.LocalContainerOptions{BaseURL: *url, Workdir: *workdir})
 		if err == nil {
-			payload, err = tw.Marshal()
+			payload, err = marshal(tw)
 		}
 	case "pegasus":
 		var s string
@@ -109,7 +116,9 @@ func generateSuite(sizesCSV string, seed int64, cpuWork float64, dir string) err
 	}
 	for _, inst := range insts {
 		path := filepath.Join(dir, inst.Spec.InstanceName()+".json")
-		if err := inst.Workflow.Save(path); err != nil {
+		// Generated instances are machine-read; compact JSON halves the
+		// bytes and skips the indent pass.
+		if err := inst.Workflow.SaveCompact(path); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (%d tasks)\n", path, inst.Workflow.Len())

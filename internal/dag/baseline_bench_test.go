@@ -1,0 +1,78 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// baselineScheduler is the map-based ready-frontier tracker this
+// package shipped before the CSR rewrite, preserved verbatim
+// (test-only) as the benchmark baseline: string-keyed remaining/state
+// maps, map-iteration adjacency, and a sort per Complete call. The
+// throughput benchmarks in throughput_bench_test.go race it against
+// the index-based Scheduler on identical shapes.
+type baselineScheduler struct {
+	g         *Graph
+	remaining map[string]int
+	state     map[string]VertexState
+	ready     []string
+	terminal  int
+	completed int
+	skipped   int
+	failed    int
+}
+
+func newBaselineScheduler(g *Graph) (*baselineScheduler, error) {
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	s := &baselineScheduler{
+		g:         g,
+		remaining: make(map[string]int, g.Len()),
+		state:     make(map[string]VertexState, g.Len()),
+	}
+	for _, v := range g.Vertices() {
+		n := g.InDegree(v)
+		s.remaining[v] = n
+		if n == 0 {
+			s.state[v] = StateReady
+			s.ready = append(s.ready, v)
+		} else {
+			s.state[v] = StatePending
+		}
+	}
+	sort.Strings(s.ready)
+	return s, nil
+}
+
+func (s *baselineScheduler) takeReady() []string {
+	out := s.ready
+	s.ready = nil
+	for _, v := range out {
+		s.state[v] = StateRunning
+	}
+	return out
+}
+
+func (s *baselineScheduler) complete(v string) ([]string, error) {
+	switch s.state[v] {
+	case StateRunning, StateReady:
+	default:
+		return nil, fmt.Errorf("dag: Complete(%q): vertex is %s", v, s.state[v])
+	}
+	s.state[v] = StateCompleted
+	s.terminal++
+	s.completed++
+	var newly []string
+	for c := range s.g.children[v] {
+		s.remaining[c]--
+		if s.remaining[c] == 0 && s.state[c] == StatePending {
+			s.state[c] = StateRunning
+			newly = append(newly, c)
+		}
+	}
+	sort.Strings(newly)
+	return newly, nil
+}
+
+func (s *baselineScheduler) done() bool { return s.terminal == s.g.Len() }

@@ -1,0 +1,290 @@
+package dag
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCSRMatchesGraph(t *testing.T) {
+	g := layeredGraph(6, 8)
+	c, err := BuildCSR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != g.Len() || c.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("CSR %d/%d vs Graph %d/%d", c.Len(), c.EdgeCount(), g.Len(), g.EdgeCount())
+	}
+	// Every vertex's adjacency must agree with the string graph.
+	for _, v := range g.Vertices() {
+		id, ok := c.ID(v)
+		if !ok {
+			t.Fatalf("vertex %q not interned", v)
+		}
+		if got := c.Name(id); got != v {
+			t.Fatalf("Name(%d) = %q, want %q", id, got, v)
+		}
+		var children []string
+		for _, ch := range c.Children(id) {
+			children = append(children, c.Name(ch))
+		}
+		sortStrings(children)
+		if want := g.Children(v); !sameStrings(children, want) {
+			t.Fatalf("%s children = %v, want %v", v, children, want)
+		}
+		var parents []string
+		for _, p := range c.Parents(id) {
+			parents = append(parents, c.Name(p))
+		}
+		sortStrings(parents)
+		if want := g.Parents(v); !sameStrings(parents, want) {
+			t.Fatalf("%s parents = %v, want %v", v, parents, want)
+		}
+		if c.InDegree(id) != g.InDegree(v) || c.OutDegree(id) != g.OutDegree(v) {
+			t.Fatalf("%s degrees disagree", v)
+		}
+	}
+}
+
+func TestCSRLevelsMatchGraphLevels(t *testing.T) {
+	g := layeredGraph(5, 7)
+	c, err := BuildCSR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.LevelOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Vertices() {
+		id, _ := c.ID(v)
+		if int(c.Level(id)) != want[v] {
+			t.Fatalf("%s level = %d, want %d", v, c.Level(id), want[v])
+		}
+	}
+	gl, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLevels() != len(gl) {
+		t.Fatalf("NumLevels = %d, want %d", c.NumLevels(), len(gl))
+	}
+	slices := c.LevelSlices()
+	if len(slices) != len(gl) {
+		t.Fatalf("LevelSlices = %d levels, want %d", len(slices), len(gl))
+	}
+	for i, ids := range slices {
+		var names []string
+		for _, id := range ids {
+			names = append(names, c.Name(id))
+		}
+		sortStrings(names)
+		if !sameStrings(names, gl[i]) {
+			t.Fatalf("level %d = %v, want %v", i, names, gl[i])
+		}
+	}
+}
+
+func TestCSRTopoOrderRespectsEdges(t *testing.T) {
+	g := layeredGraph(6, 6)
+	c, err := BuildCSR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, c.Len())
+	for i, id := range c.TopoOrder() {
+		pos[id] = i
+	}
+	if len(c.TopoOrder()) != c.Len() {
+		t.Fatalf("topo covers %d of %d", len(c.TopoOrder()), c.Len())
+	}
+	for v := int32(0); v < int32(c.Len()); v++ {
+		for _, ch := range c.Children(v) {
+			if pos[v] >= pos[ch] {
+				t.Fatalf("edge %s->%s violates topo order", c.Name(v), c.Name(ch))
+			}
+		}
+	}
+}
+
+func TestCSRBuilderRejectsSelfEdge(t *testing.T) {
+	b := NewCSRBuilder(1, 1)
+	if err := b.AddEdge("a", "a"); err == nil {
+		t.Fatal("self edge accepted")
+	}
+}
+
+func TestCSRBuilderDetectsCycle(t *testing.T) {
+	b := NewCSRBuilder(3, 3)
+	b.AddEdge("a", "b")
+	b.AddEdge("b", "c")
+	b.AddEdge("c", "a")
+	_, err := b.Build()
+	ce, ok := err.(*CycleError)
+	if !ok {
+		t.Fatalf("err = %v, want *CycleError", err)
+	}
+	if len(ce.Cycle) != 3 {
+		t.Fatalf("cycle = %v, want 3 vertices", ce.Cycle)
+	}
+	onCycle := map[string]bool{"a": true, "b": true, "c": true}
+	for _, v := range ce.Cycle {
+		if !onCycle[v] {
+			t.Fatalf("cycle %v names vertex %q outside the cycle", ce.Cycle, v)
+		}
+	}
+}
+
+func TestCSRBuilderCollapsesDuplicateEdges(t *testing.T) {
+	b := NewCSRBuilder(2, 4)
+	b.AddEdge("a", "b")
+	b.AddEdge("a", "b")
+	b.AddEdge("a", "b")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", c.EdgeCount())
+	}
+	id, _ := c.ID("a")
+	if got := c.Children(id); len(got) != 1 {
+		t.Fatalf("children of a = %v", got)
+	}
+}
+
+func TestCSREmptyAndSingleton(t *testing.T) {
+	c, err := NewCSRBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.NumLevels() != 0 || len(c.LevelSlices()) != 0 {
+		t.Fatalf("empty CSR: len=%d levels=%d", c.Len(), c.NumLevels())
+	}
+	b := NewCSRBuilder(1, 0)
+	b.AddVertex("only")
+	c, err = b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || c.NumLevels() != 1 {
+		t.Fatalf("singleton CSR: len=%d levels=%d", c.Len(), c.NumLevels())
+	}
+}
+
+// TestSchedulerIDAPI drives the ID-based hot-path API directly and
+// checks it agrees with the string API's partial order.
+func TestSchedulerIDAPI(t *testing.T) {
+	g := layeredGraph(5, 6)
+	c, err := BuildCSR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedulerCSR(c)
+	completed := make([]bool, c.Len())
+	frontier := append([]int32(nil), s.TakeReadyIDs()...)
+	total := 0
+	for len(frontier) > 0 {
+		var next []int32
+		for _, id := range frontier {
+			for _, p := range c.Parents(id) {
+				if !completed[p] {
+					t.Fatalf("%s ready before parent %s", c.Name(id), c.Name(p))
+				}
+			}
+			newly, err := s.CompleteID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			completed[id] = true
+			total++
+			next = append(next, newly...) // copy: newly is scratch
+		}
+		frontier = next
+	}
+	if !s.Done() || total != c.Len() {
+		t.Fatalf("drained %d of %d, done=%v", total, c.Len(), s.Done())
+	}
+}
+
+func TestSchedulerFailIDSkipsDescendants(t *testing.T) {
+	b := NewCSRBuilder(5, 4)
+	b.AddEdge("a", "b")
+	b.AddEdge("a", "c")
+	b.AddEdge("b", "d")
+	b.AddVertex("e")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedulerCSR(c)
+	ready := s.TakeReadyIDs()
+	if len(ready) != 2 {
+		t.Fatalf("ready = %d ids", len(ready))
+	}
+	aid, _ := c.ID("a")
+	skipped, err := s.FailID(aid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, id := range skipped {
+		names = append(names, c.Name(id))
+	}
+	sortStrings(names)
+	if !reflect.DeepEqual(names, []string{"b", "c", "d"}) {
+		t.Fatalf("skipped = %v", names)
+	}
+	eid, _ := c.ID("e")
+	if _, err := s.CompleteID(eid); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || s.Failed() != 1 || s.Skipped() != 3 || s.Completed() != 1 {
+		t.Fatalf("counts failed=%d skipped=%d completed=%d", s.Failed(), s.Skipped(), s.Completed())
+	}
+}
+
+// TestGraphViewsAreSnapshots pins the read-only-view contract: a slice
+// handed out before a mutation keeps its contents, and fresh calls see
+// the new structure.
+func TestGraphViewsAreSnapshots(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	before := g.Children("a")
+	if !sameStrings(before, []string{"b", "c"}) {
+		t.Fatalf("children = %v", before)
+	}
+	g.RemoveEdge("a", "b")
+	if !sameStrings(before, []string{"b", "c"}) {
+		t.Fatalf("snapshot mutated: %v", before)
+	}
+	if after := g.Children("a"); !sameStrings(after, []string{"c"}) {
+		t.Fatalf("children after removal = %v", after)
+	}
+	// Repeated calls on an unchanged graph share the cached view.
+	v1 := g.Children("a")
+	v2 := g.Children("a")
+	if len(v1) > 0 && &v1[0] != &v2[0] {
+		t.Fatal("cached view not shared across calls")
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

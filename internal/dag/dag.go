@@ -20,6 +20,18 @@ type Graph struct {
 	parents map[string]map[string]struct{}
 	// insertion order, for deterministic iteration
 	order []string
+
+	// version is bumped by every mutation; the lazily-built caches
+	// below carry the version they were computed at. Scheduler loops
+	// call Children/Parents/TopoSort repeatedly on an unchanging graph,
+	// so re-sorting fresh slices on every call is pure garbage.
+	version     uint64
+	topoAt      uint64 // version topo/topoErr were computed at; 0 = never
+	topo        []string
+	topoErr     error
+	viewsAt     uint64 // version the adjacency views were reset at; 0 = never
+	childViews  map[string][]string
+	parentViews map[string][]string
 }
 
 // New returns an empty graph.
@@ -27,8 +39,12 @@ func New() *Graph {
 	return &Graph{
 		children: make(map[string]map[string]struct{}),
 		parents:  make(map[string]map[string]struct{}),
+		version:  1,
 	}
 }
+
+// mutated invalidates all derived caches.
+func (g *Graph) mutated() { g.version++ }
 
 // AddVertex inserts v if it is not already present.
 func (g *Graph) AddVertex(v string) {
@@ -38,6 +54,7 @@ func (g *Graph) AddVertex(v string) {
 	g.children[v] = make(map[string]struct{})
 	g.parents[v] = make(map[string]struct{})
 	g.order = append(g.order, v)
+	g.mutated()
 }
 
 // HasVertex reports whether v is in the graph.
@@ -56,6 +73,7 @@ func (g *Graph) AddEdge(from, to string) error {
 	g.AddVertex(to)
 	g.children[from][to] = struct{}{}
 	g.parents[to][from] = struct{}{}
+	g.mutated()
 	return nil
 }
 
@@ -69,6 +87,7 @@ func (g *Graph) HasEdge(from, to string) bool {
 func (g *Graph) RemoveEdge(from, to string) {
 	delete(g.children[from], to)
 	delete(g.parents[to], from)
+	g.mutated()
 }
 
 // Len returns the number of vertices.
@@ -90,11 +109,41 @@ func (g *Graph) Vertices() []string {
 	return out
 }
 
-// Children returns the sorted children of v.
-func (g *Graph) Children(v string) []string { return sortedKeys(g.children[v]) }
+// Children returns the sorted children of v. The returned slice is a
+// cached read-only view — it stays a valid snapshot across later graph
+// mutations, but the caller must not modify it.
+func (g *Graph) Children(v string) []string {
+	g.freshenViews()
+	if s, ok := g.childViews[v]; ok {
+		return s
+	}
+	s := sortedKeys(g.children[v])
+	g.childViews[v] = s
+	return s
+}
 
-// Parents returns the sorted parents of v.
-func (g *Graph) Parents(v string) []string { return sortedKeys(g.parents[v]) }
+// Parents returns the sorted parents of v. Cached read-only view; the
+// caller must not modify it.
+func (g *Graph) Parents(v string) []string {
+	g.freshenViews()
+	if s, ok := g.parentViews[v]; ok {
+		return s
+	}
+	s := sortedKeys(g.parents[v])
+	g.parentViews[v] = s
+	return s
+}
+
+// freshenViews resets the adjacency view caches after a mutation.
+// Slices handed out earlier are abandoned, not cleared, so callers
+// iterating them keep a consistent snapshot.
+func (g *Graph) freshenViews() {
+	if g.viewsAt != g.version {
+		g.childViews = make(map[string][]string)
+		g.parentViews = make(map[string][]string)
+		g.viewsAt = g.version
+	}
+}
 
 // InDegree returns the number of parents of v.
 func (g *Graph) InDegree(v string) int { return len(g.parents[v]) }
@@ -138,8 +187,24 @@ func (e *CycleError) Error() string {
 
 // TopoSort returns a topological ordering. Within each level the order is
 // lexicographic, so the result is deterministic. It returns a *CycleError
-// if the graph has a cycle.
+// if the graph has a cycle. The ordering is cached until the next
+// mutation; each call returns a fresh copy the caller may keep.
 func (g *Graph) TopoSort() ([]string, error) {
+	if g.topoAt == g.version {
+		if g.topoErr != nil {
+			return nil, g.topoErr
+		}
+		return append([]string(nil), g.topo...), nil
+	}
+	order, err := g.topoSort()
+	g.topo, g.topoErr, g.topoAt = order, err, g.version
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), order...), nil
+}
+
+func (g *Graph) topoSort() ([]string, error) {
 	indeg := make(map[string]int, len(g.order))
 	for _, v := range g.order {
 		indeg[v] = len(g.parents[v])
@@ -359,10 +424,16 @@ func (g *Graph) TransitiveReduction() error {
 			}
 			g.children[u][v] = struct{}{}
 			g.parents[v][u] = struct{}{}
+			g.mutated()
 		}
 	}
 	return nil
 }
+
+// HasPath reports whether to is reachable from from through one or more
+// edges. Used by workflow validation to confirm a file's producer is an
+// ancestor of its consumer without materializing full ancestor sets.
+func (g *Graph) HasPath(from, to string) bool { return g.reachable(from, to) }
 
 // reachable reports whether to is reachable from from.
 func (g *Graph) reachable(from, to string) bool {

@@ -52,147 +52,228 @@ func (s VertexState) String() string {
 // O(V+E) total. This is the readiness engine behind the workflow
 // manager's dependency-driven scheduling mode.
 //
+// All bookkeeping lives in flat int32 arrays indexed by interned vertex
+// ID over a CSR adjacency — a 100k-task drain performs no string
+// hashing, no sorting, and no steady-state allocation. The ID-based
+// methods (TakeReadyIDs, CompleteID, FailID) are the hot-path API and
+// return scratch slices valid only until the next Scheduler call; the
+// string methods wrap them for convenience and return fresh sorted
+// copies.
+//
 // The lifecycle of a vertex is pending -> ready -> running -> completed
 // or failed; descendants of a failed vertex become skipped. A Scheduler
 // is not safe for concurrent use; the workflow manager drives it from a
 // single event loop.
 type Scheduler struct {
-	g *Graph
+	c *CSR
 	// remaining counts parents not yet completed, per pending vertex.
-	remaining map[string]int
-	state     map[string]VertexState
-	// ready is the current frontier, kept sorted for determinism.
-	ready []string
+	remaining []int32
+	state     []VertexState
+	// ready is the current frontier in ID order.
+	ready []int32
 	// terminal counts vertices in a terminal state (completed, failed,
 	// or skipped).
 	terminal  int
 	completed int
 	skipped   int
 	failed    int
+	// newly and stack are scratch buffers reused across CompleteID and
+	// FailID calls.
+	newly []int32
+	stack []int32
 }
 
 // NewScheduler builds a Scheduler for g. It returns a *CycleError if g
 // is cyclic (a cyclic graph can never drain). The graph must not be
 // mutated while the scheduler is in use.
 func NewScheduler(g *Graph) (*Scheduler, error) {
-	if _, err := g.TopoSort(); err != nil {
+	c, err := BuildCSR(g)
+	if err != nil {
 		return nil, err
 	}
+	return NewSchedulerCSR(c), nil
+}
+
+// NewSchedulerCSR builds a Scheduler directly over a compiled CSR — the
+// zero-conversion path the workflow manager uses. A CSR is acyclic by
+// construction, so no error is possible.
+func NewSchedulerCSR(c *CSR) *Scheduler {
+	n := int32(c.Len())
 	s := &Scheduler{
-		g:         g,
-		remaining: make(map[string]int, g.Len()),
-		state:     make(map[string]VertexState, g.Len()),
+		c:         c,
+		remaining: make([]int32, n),
+		state:     make([]VertexState, n),
 	}
-	for _, v := range g.order {
-		n := len(g.parents[v])
-		s.remaining[v] = n
-		if n == 0 {
+	for v := int32(0); v < n; v++ {
+		d := int32(c.InDegree(v))
+		s.remaining[v] = d
+		if d == 0 {
 			s.state[v] = StateReady
 			s.ready = append(s.ready, v)
-		} else {
-			s.state[v] = StatePending
 		}
 	}
-	sort.Strings(s.ready)
-	return s, nil
+	return s
 }
+
+// CSR returns the compiled adjacency the scheduler runs on.
+func (s *Scheduler) CSR() *CSR { return s.c }
+
+// StateID returns the lifecycle state of id.
+func (s *Scheduler) StateID(id int32) VertexState { return s.state[id] }
 
 // State returns the lifecycle state of v. Unknown vertices report
 // StatePending.
-func (s *Scheduler) State(v string) VertexState { return s.state[v] }
-
-// Ready returns a copy of the current ready set, sorted.
-func (s *Scheduler) Ready() []string {
-	out := make([]string, len(s.ready))
-	copy(out, s.ready)
-	return out
+func (s *Scheduler) State(v string) VertexState {
+	id, ok := s.c.ID(v)
+	if !ok {
+		return StatePending
+	}
+	return s.state[id]
 }
 
-// TakeReady drains the ready set, marking every returned vertex running.
-// The caller must eventually report each via Complete or Fail.
-func (s *Scheduler) TakeReady() []string {
+// ReadyIDs returns the current ready frontier in ID order. Read-only
+// view, valid until the next Scheduler call.
+func (s *Scheduler) ReadyIDs() []int32 { return s.ready }
+
+// Ready returns a copy of the current ready set, sorted by name.
+func (s *Scheduler) Ready() []string { return s.sortedNames(s.ready) }
+
+// TakeReadyIDs drains the ready set, marking every returned vertex
+// running. The returned slice is valid until the next TakeReadyIDs
+// call; the caller must eventually report each ID via CompleteID or
+// FailID.
+func (s *Scheduler) TakeReadyIDs() []int32 {
 	out := s.ready
-	s.ready = nil
-	for _, v := range out {
-		s.state[v] = StateRunning
+	s.ready = s.ready[len(s.ready):]
+	for _, id := range out {
+		s.state[id] = StateRunning
 	}
 	return out
 }
 
-// Complete reports that v finished successfully and returns the
-// vertices that became ready as a result, sorted. The returned vertices
-// are marked running (as if taken), so the caller can dispatch them
-// directly. It is an error to complete a vertex that is not running or
-// ready.
-func (s *Scheduler) Complete(v string) ([]string, error) {
-	switch s.state[v] {
-	case StateRunning, StateReady:
-	default:
-		return nil, fmt.Errorf("dag: Complete(%q): vertex is %s", v, s.state[v])
+// TakeReady drains the ready set, marking every returned vertex running
+// and returning names sorted. The caller must eventually report each
+// via Complete or Fail.
+func (s *Scheduler) TakeReady() []string {
+	ids := s.TakeReadyIDs()
+	if len(ids) == 0 {
+		return nil
 	}
-	if s.state[v] == StateReady {
-		s.dropReady(v)
+	return s.sortedNames(ids)
+}
+
+// CompleteID reports that id finished successfully and returns the IDs
+// that became ready as a result, in ID order. The returned vertices are
+// marked running (as if taken), so the caller can dispatch them
+// directly. The slice is scratch, valid until the next CompleteID or
+// FailID call. It is an error to complete a vertex that is not running
+// or ready.
+func (s *Scheduler) CompleteID(id int32) ([]int32, error) {
+	if err := s.leaveActive(id, "Complete"); err != nil {
+		return nil, err
 	}
-	s.state[v] = StateCompleted
+	s.state[id] = StateCompleted
 	s.terminal++
 	s.completed++
-	var newly []string
-	for c := range s.g.children[v] {
+	s.newly = s.newly[:0]
+	for _, c := range s.c.Children(id) {
 		s.remaining[c]--
 		if s.remaining[c] == 0 && s.state[c] == StatePending {
 			s.state[c] = StateRunning
-			newly = append(newly, c)
+			s.newly = append(s.newly, c)
 		}
 	}
-	sort.Strings(newly)
-	return newly, nil
+	return s.newly, nil
 }
 
-// Fail reports that v failed and returns every descendant that can now
-// never run, sorted; those descendants are marked skipped. Descendants
-// already skipped by an earlier failure are not returned again.
-func (s *Scheduler) Fail(v string) ([]string, error) {
-	switch s.state[v] {
-	case StateRunning, StateReady:
-	default:
-		return nil, fmt.Errorf("dag: Fail(%q): vertex is %s", v, s.state[v])
+// Complete reports that v finished successfully and returns the
+// vertices that became ready as a result, sorted by name. The returned
+// vertices are marked running (as if taken), so the caller can dispatch
+// them directly. It is an error to complete a vertex that is not
+// running or ready.
+func (s *Scheduler) Complete(v string) ([]string, error) {
+	id, ok := s.c.ID(v)
+	if !ok {
+		return nil, fmt.Errorf("dag: Complete(%q): vertex is %s", v, StatePending)
 	}
-	if s.state[v] == StateReady {
-		s.dropReady(v)
+	newly, err := s.CompleteID(id)
+	if err != nil {
+		return nil, err
 	}
-	s.state[v] = StateFailed
+	if len(newly) == 0 {
+		return nil, nil
+	}
+	return s.sortedNames(newly), nil
+}
+
+// FailID reports that id failed and returns every descendant that can
+// now never run, in discovery order; those descendants are marked
+// skipped. Descendants already skipped by an earlier failure are not
+// returned again. The slice is scratch, valid until the next CompleteID
+// or FailID call.
+func (s *Scheduler) FailID(id int32) ([]int32, error) {
+	if err := s.leaveActive(id, "Fail"); err != nil {
+		return nil, err
+	}
+	s.state[id] = StateFailed
 	s.terminal++
 	s.failed++
 	// Every pending descendant is unreachable: one of its ancestors
-	// (v) will never complete.
-	var skipped []string
-	stack := make([]string, 0, len(s.g.children[v]))
-	for c := range s.g.children[v] {
-		stack = append(stack, c)
-	}
-	for len(stack) > 0 {
-		c := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	// (id) will never complete.
+	s.newly = s.newly[:0]
+	s.stack = append(s.stack[:0], s.c.Children(id)...)
+	for len(s.stack) > 0 {
+		c := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		if s.state[c] != StatePending {
 			continue
 		}
 		s.state[c] = StateSkipped
 		s.terminal++
 		s.skipped++
-		skipped = append(skipped, c)
-		for gc := range s.g.children[c] {
-			stack = append(stack, gc)
-		}
+		s.newly = append(s.newly, c)
+		s.stack = append(s.stack, s.c.Children(c)...)
 	}
-	sort.Strings(skipped)
-	return skipped, nil
+	return s.newly, nil
+}
+
+// Fail reports that v failed and returns every descendant that can now
+// never run, sorted by name; those descendants are marked skipped.
+// Descendants already skipped by an earlier failure are not returned
+// again.
+func (s *Scheduler) Fail(v string) ([]string, error) {
+	id, ok := s.c.ID(v)
+	if !ok {
+		return nil, fmt.Errorf("dag: Fail(%q): vertex is %s", v, StatePending)
+	}
+	skipped, err := s.FailID(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(skipped) == 0 {
+		return nil, nil
+	}
+	return s.sortedNames(skipped), nil
+}
+
+// leaveActive validates that id may leave the active (ready or running)
+// states and removes it from the ready frontier if still there.
+func (s *Scheduler) leaveActive(id int32, op string) error {
+	switch s.state[id] {
+	case StateRunning:
+	case StateReady:
+		s.dropReady(id)
+	default:
+		return fmt.Errorf("dag: %s(%q): vertex is %s", op, s.c.Name(id), s.state[id])
+	}
+	return nil
 }
 
 // Done reports whether every vertex reached a terminal state.
-func (s *Scheduler) Done() bool { return s.terminal == s.g.Len() }
+func (s *Scheduler) Done() bool { return s.terminal == s.c.Len() }
 
 // Remaining returns the number of vertices not yet terminal.
-func (s *Scheduler) Remaining() int { return s.g.Len() - s.terminal }
+func (s *Scheduler) Remaining() int { return s.c.Len() - s.terminal }
 
 // Completed returns the number of successfully completed vertices.
 func (s *Scheduler) Completed() int { return s.completed }
@@ -204,10 +285,23 @@ func (s *Scheduler) Failed() int { return s.failed }
 // failures.
 func (s *Scheduler) Skipped() int { return s.skipped }
 
-// dropReady removes v from the sorted ready slice.
-func (s *Scheduler) dropReady(v string) {
-	i := sort.SearchStrings(s.ready, v)
-	if i < len(s.ready) && s.ready[i] == v {
-		s.ready = append(s.ready[:i], s.ready[i+1:]...)
+// dropReady removes id from the ready slice. Rare path: only reached
+// when a vertex is completed or failed without having been taken.
+func (s *Scheduler) dropReady(id int32) {
+	for i, r := range s.ready {
+		if r == id {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			return
+		}
 	}
+}
+
+// sortedNames maps IDs to names and sorts — the string-API boundary.
+func (s *Scheduler) sortedNames(ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = s.c.Name(id)
+	}
+	sort.Strings(out)
+	return out
 }

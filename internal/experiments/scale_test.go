@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"wfserverless/internal/wfm"
+)
+
+// TestScaleSmall runs the scale campaign end-to-end at a size small
+// enough for tier-1: every task completes, throughput and RSS are
+// reported.
+func TestScaleSmall(t *testing.T) {
+	for _, shape := range []string{"random", "chain", "fanout"} {
+		res, err := Scale(context.Background(), ScaleConfig{
+			Tasks:       300,
+			Shape:       shape,
+			Scheduling:  wfm.ScheduleDependency,
+			MaxParallel: 32,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if res.Completed != 300 {
+			t.Fatalf("%s: completed %d of 300", shape, res.Completed)
+		}
+		if res.TasksPerSec <= 0 {
+			t.Fatalf("%s: TasksPerSec = %v", shape, res.TasksPerSec)
+		}
+		if shape != "fanout" && res.Edges == 0 {
+			t.Fatalf("%s: no edges", shape)
+		}
+	}
+}
+
+// TestScalePhasesMode pins that the campaign also runs under the
+// paper's phase-barrier mode.
+func TestScalePhasesMode(t *testing.T) {
+	res, err := Scale(context.Background(), ScaleConfig{
+		Tasks:       120,
+		Shape:       "random",
+		Width:       16,
+		Scheduling:  wfm.SchedulePhases,
+		MaxParallel: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 120 {
+		t.Fatalf("completed %d of 120", res.Completed)
+	}
+}
+
+func TestScaleRejectsBadConfig(t *testing.T) {
+	if _, err := Scale(context.Background(), ScaleConfig{Tasks: 0}); err == nil {
+		t.Fatal("Tasks=0 accepted")
+	}
+	if _, err := Scale(context.Background(), ScaleConfig{Tasks: 10, Shape: "mystery"}); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestPeakRSSOnLinux(t *testing.T) {
+	if rss := PeakRSS(); rss <= 0 {
+		t.Skip("procfs not available")
+	}
+}

@@ -21,6 +21,7 @@
 package serverless
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -450,13 +451,26 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.WriteMetrics(w)
 		return
 	}
-	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
-	if len(parts) != 2 || parts[1] != "wfbench" || r.Method != http.MethodPost {
+	// Manual /<service>/wfbench routing: the invoke path handles one
+	// request per workflow task, so it avoids strings.Split's slice
+	// allocation per hit.
+	service, ok := splitInvokePath(r.URL.Path)
+	if !ok || r.Method != http.MethodPost {
 		http.NotFound(w, r)
 		return
 	}
+	// Drain the body into a pooled buffer and unmarshal in place — no
+	// per-request json.Decoder, and the read buffer is recycled across
+	// invocations.
+	buf := invokeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
 	var req wfbench.Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	_, err := buf.ReadFrom(r.Body)
+	if err == nil {
+		err = json.Unmarshal(buf.Bytes(), &req)
+	}
+	invokeBufs.Put(buf)
+	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -464,7 +478,7 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := p.Invoke(r.Context(), parts[0], &req)
+	resp, err := p.Invoke(r.Context(), service, &req)
 	status := http.StatusOK
 	if err != nil {
 		if resp == nil {
@@ -483,9 +497,38 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		status = http.StatusInternalServerError
 	}
+	out := invokeBufs.Get().(*bytes.Buffer)
+	out.Reset()
+	if err := json.NewEncoder(out).Encode(resp); err != nil {
+		invokeBufs.Put(out)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(out.Len()))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(resp)
+	w.Write(out.Bytes())
+	invokeBufs.Put(out)
+}
+
+// invokeBufs recycles request-read and response-write buffers across
+// ServeHTTP invocations.
+var invokeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// splitInvokePath matches "/<service>/wfbench" (tolerating a trailing
+// slash, as the old strings.Trim routing did) and returns the service
+// segment, allocation-free.
+func splitInvokePath(path string) (string, bool) {
+	const suffix = "/wfbench"
+	path = strings.TrimSuffix(path, "/")
+	if len(path) <= len(suffix)+1 || path[0] != '/' || !strings.HasSuffix(path, suffix) {
+		return "", false
+	}
+	service := path[1 : len(path)-len(suffix)]
+	if service == "" || strings.ContainsRune(service, '/') {
+		return "", false
+	}
+	return service, true
 }
 
 // autoscaleLoop evaluates every service each tick: the desired pod count
@@ -654,6 +697,14 @@ type pod struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// lifeMu serializes start against stop: addPod publishes the pod
+	// before calling start, so a concurrent shutdown/reap may stop the
+	// pod first — start must then be a no-op rather than racing its
+	// wg.Add against stop's wg.Wait and registering overheads on a
+	// released reservation.
+	lifeMu  sync.Mutex
+	stopped bool
+
 	active     atomic.Int64
 	lastActive atomic.Int64 // UnixNano
 
@@ -691,7 +742,13 @@ func newPod(s *service, id int, res *cluster.Reservation) (*pod, error) {
 // start sleeps through the cold start, registers the pod's resident
 // overheads, and launches the worker loops.
 func (pd *pod) start(coldStart time.Duration) {
+	pd.lifeMu.Lock()
+	if pd.stopped {
+		pd.lifeMu.Unlock()
+		return
+	}
 	pd.wg.Add(1)
+	pd.lifeMu.Unlock()
 	go func() {
 		defer pd.wg.Done()
 		if coldStart > 0 {
@@ -752,7 +809,10 @@ func (pd *pod) idleSince(now time.Time) time.Duration {
 // with respect to in-flight work; safe to call multiple times.
 func (pd *pod) stop() {
 	pd.stopOnce.Do(func() {
+		pd.lifeMu.Lock()
+		pd.stopped = true
 		close(pd.stopCh)
+		pd.lifeMu.Unlock()
 		go func() {
 			pd.wg.Wait()
 			for _, w := range pd.workers {

@@ -544,3 +544,28 @@ func TestIngressMapsStoppedTo503(t *testing.T) {
 		t.Fatal("stopped platform sent a Retry-After hint")
 	}
 }
+
+// TestSplitInvokePath pins the manual router against the old
+// strings.Split behaviour, including the tolerated trailing slash.
+func TestSplitInvokePath(t *testing.T) {
+	cases := []struct {
+		path    string
+		service string
+		ok      bool
+	}{
+		{"/blastall/wfbench", "blastall", true},
+		{"/s/wfbench/", "s", true},
+		{"/wfbench", "", false},
+		{"//wfbench", "", false},
+		{"/a/b/wfbench", "", false},
+		{"/s/other", "", false},
+		{"/stats", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		service, ok := splitInvokePath(c.path)
+		if service != c.service || ok != c.ok {
+			t.Errorf("splitInvokePath(%q) = %q,%v; want %q,%v", c.path, service, ok, c.service, c.ok)
+		}
+	}
+}

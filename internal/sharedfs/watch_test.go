@@ -141,6 +141,54 @@ func TestWaitForPollingFallback(t *testing.T) {
 	}
 }
 
+// TestWaitForPollingCancellationMidWait covers cancelling the bounded
+// polling path while it is blocked between probes: WaitFor must return
+// promptly with the context error and the names still unpublished.
+func TestWaitForPollingCancellationMidWait(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.WriteFile("present", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	missing, err := WaitFor(ctx, d, []string{"gone-b", "present", "gone-a"}, 50*time.Millisecond)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation must interrupt the sleep, not wait out the interval.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if !reflect.DeepEqual(missing, []string{"gone-a", "gone-b"}) {
+		t.Fatalf("missing = %v, want sorted [gone-a gone-b]", missing)
+	}
+}
+
+// TestWaitForPollingImmediateReturn pins that the fallback path checks
+// existence before its first sleep: files already on disk return without
+// paying even one poll interval.
+func TestWaitForPollingImmediateReturn(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.WriteFile("x", 1)
+	d.WriteFile("y", 1)
+	start := time.Now()
+	missing, err := WaitFor(context.Background(), d, []string{"x", "y"}, time.Hour)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("missing=%v err=%v", missing, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("existing files took %v; slept before the first probe?", elapsed)
+	}
+}
+
 // TestRemoteDriveHasNoWatch pins the design decision: remote drives pay
 // per-operation latency, so WaitFor must use bounded polling for them
 // rather than pretending pushes are free.

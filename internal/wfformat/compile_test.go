@@ -1,0 +1,177 @@
+package wfformat
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCompileAlignsTasksAndEdges(t *testing.T) {
+	w := miniBlast(t)
+	csr, tasks, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.Len() != w.Len() || len(tasks) != w.Len() {
+		t.Fatalf("compiled %d/%d tasks, want %d", csr.Len(), len(tasks), w.Len())
+	}
+	// IDs follow sorted name order and the task slice is ID-aligned.
+	names := w.TaskNames()
+	for i, n := range names {
+		id, ok := csr.ID(n)
+		if !ok || int(id) != i {
+			t.Fatalf("ID(%q) = %d,%v, want %d", n, id, ok, i)
+		}
+		if tasks[id].Name != n {
+			t.Fatalf("tasks[%d].Name = %q, want %q", id, tasks[id].Name, n)
+		}
+	}
+	// Edges mirror the parents/children entries.
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("CSR edges = %d, graph edges = %d", csr.EdgeCount(), g.EdgeCount())
+	}
+	for _, n := range names {
+		id, _ := csr.ID(n)
+		var children []string
+		for _, c := range csr.Children(id) {
+			children = append(children, csr.Name(c))
+		}
+		if want := g.Children(n); !reflect.DeepEqual(children, append([]string(nil), want...)) && (len(children) != 0 || len(want) != 0) {
+			t.Fatalf("%s children = %v, want %v", n, children, want)
+		}
+	}
+}
+
+func TestCompileRejectsUnknownChild(t *testing.T) {
+	w := New("broken")
+	task := buildTask("a", "x", nil, map[string]int64{"o": 1})
+	task.Children = []string{"ghost"}
+	if err := w.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Compile(); err == nil {
+		t.Fatal("unknown child accepted")
+	}
+}
+
+func TestPhasesMatchGraphLevels(t *testing.T) {
+	w := miniBlast(t)
+	phases, err := w.Phases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(phases, levels) {
+		t.Fatalf("Phases = %v, Levels = %v", phases, levels)
+	}
+}
+
+func TestMarshalCompactRoundTrips(t *testing.T) {
+	w := miniBlast(t)
+	compact, err := w.MarshalCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pretty, err := w.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact) >= len(pretty) {
+		t.Fatalf("compact (%d bytes) not smaller than indented (%d bytes)", len(compact), len(pretty))
+	}
+	if bytes.ContainsRune(compact, '\n') {
+		t.Fatal("compact output contains newlines")
+	}
+	// Both encodings describe the same workflow.
+	var a, b any
+	if err := json.Unmarshal(compact, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pretty, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("compact and indented encodings disagree")
+	}
+	got, err := Parse(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != w.Len() {
+		t.Fatalf("round trip lost tasks: %d vs %d", got.Len(), w.Len())
+	}
+}
+
+func TestSaveCompactLoads(t *testing.T) {
+	w := miniBlast(t)
+	path := filepath.Join(t.TempDir(), "wf.json")
+	if err := w.SaveCompact(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != w.Len() || got.Name != w.Name {
+		t.Fatalf("loaded %q with %d tasks", got.Name, got.Len())
+	}
+}
+
+// TestValidateTransitiveProducerStillAccepted pins the Validate fast
+// path: a file produced by a grandparent (transitive ancestor, not a
+// direct parent) must still validate via the reachability fallback.
+func TestValidateTransitiveProducerStillAccepted(t *testing.T) {
+	w := New("transitive")
+	a := buildTask("a", "x", nil, map[string]int64{"fa": 1})
+	b := buildTask("b", "x", []string{"fa"}, map[string]int64{"fb": 1})
+	// c consumes fa, produced by grandparent a — legal: a is an ancestor.
+	c := buildTask("c", "x", []string{"fb", "fa"}, map[string]int64{"fc": 1})
+	for _, task := range []*Task{a, b, c} {
+		if err := w.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Link("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Link("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("transitive producer rejected: %v", err)
+	}
+}
+
+// TestValidateNonAncestorProducerRejected pins the failing side: a file
+// produced by an unrelated task must still be flagged.
+func TestValidateNonAncestorProducerRejected(t *testing.T) {
+	w := New("sideways")
+	a := buildTask("a", "x", nil, map[string]int64{"fa": 1})
+	b := buildTask("b", "x", []string{"fa"}, map[string]int64{"fb": 1})
+	for _, task := range []*Task{a, b} {
+		if err := w.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No a -> b link: a is not an ancestor of b, so b reading fa is
+	// a dependency the DAG does not order.
+	if err := w.Validate(); err == nil {
+		t.Fatal("non-ancestor producer accepted")
+	}
+}

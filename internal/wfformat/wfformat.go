@@ -193,14 +193,60 @@ func (w *Workflow) Graph() (*dag.Graph, error) {
 	return g, nil
 }
 
+// Compile interns the workflow's task names (IDs assigned in sorted
+// name order) and builds the CSR dependency graph plus the ID-aligned
+// task slice — the representation the workflow manager's hot path runs
+// on. String-keyed lookups survive only at this boundary; past it,
+// every structure is indexed by dense int32 task ID.
+func (w *Workflow) Compile() (*dag.CSR, []*Task, error) {
+	names := w.TaskNames()
+	b := dag.NewCSRBuilder(len(names), len(names))
+	for _, n := range names {
+		b.AddVertex(n)
+	}
+	ix := b.Index()
+	tasks := make([]*Task, len(names))
+	for _, n := range names {
+		t := w.Tasks[n]
+		id, _ := ix.ID(n)
+		tasks[id] = t
+		for _, c := range t.Children {
+			cid, ok := ix.ID(c)
+			if !ok {
+				return nil, nil, fmt.Errorf("wfformat: task %q lists unknown child %q", n, c)
+			}
+			if err := b.AddEdgeIDs(id, cid); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	csr, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return csr, tasks, nil
+}
+
 // Phases returns the topological levels of the workflow: the "steps" of
 // the paper, where all functions in a phase are invoked simultaneously.
+// Each level is sorted lexicographically.
 func (w *Workflow) Phases() ([][]string, error) {
-	g, err := w.Graph()
+	// IDs are assigned in sorted name order, so the ID-ordered level
+	// slices are already lexicographic.
+	csr, _, err := w.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return g.Levels()
+	levels := csr.LevelSlices()
+	out := make([][]string, len(levels))
+	for i, ids := range levels {
+		lv := make([]string, len(ids))
+		for j, id := range ids {
+			lv[j] = csr.Name(id)
+		}
+		out[i] = lv
+	}
+	return out, nil
 }
 
 // Categories returns category -> number of tasks, the function-type
@@ -323,15 +369,20 @@ func (w *Workflow) Validate() error {
 		} else if _, err := g.Levels(); err != nil {
 			add("%v", err)
 		} else {
-			// Every input produced by some task must come from an ancestor.
+			// Every input produced by some task must come from an
+			// ancestor. In well-formed workflows the producer is almost
+			// always a direct parent, so check the edge first and pay a
+			// reachability walk only for transitive producers — O(V+E)
+			// in practice instead of materializing full ancestor sets
+			// per task (O(V·E), which collapses at 100k tasks).
 			for _, n := range w.TaskNames() {
 				t := w.Tasks[n]
-				anc := make(map[string]bool)
-				for _, a := range g.Ancestors(n) {
-					anc[a] = true
-				}
 				for _, in := range t.InputFiles() {
-					if prod, ok := producers[in]; ok && prod != n && !anc[prod] {
+					prod, ok := producers[in]
+					if !ok || prod == n || g.HasEdge(prod, n) {
+						continue
+					}
+					if !g.HasPath(prod, n) {
 						add("task %q input %q produced by non-ancestor %q", n, in, prod)
 					}
 				}
@@ -371,9 +422,17 @@ func (w *Workflow) ExternalInputs() []File {
 	return out
 }
 
-// Marshal serializes the workflow to indented JSON.
+// Marshal serializes the workflow to indented JSON for human readers.
+// Large generated instances should use MarshalCompact: pretty-printing
+// a 100k-task workflow is O(n) extra bytes and garbage for no reader.
 func (w *Workflow) Marshal() ([]byte, error) {
 	return json.MarshalIndent(w, "", "  ")
+}
+
+// MarshalCompact serializes the workflow to single-line JSON — the fast
+// path for generated instances and machine-to-machine transfer.
+func (w *Workflow) MarshalCompact() ([]byte, error) {
+	return json.Marshal(w)
 }
 
 // Parse reads a workflow from JSON bytes.
@@ -410,6 +469,17 @@ func Load(path string) (*Workflow, error) {
 // Save writes the workflow as indented JSON to path.
 func (w *Workflow) Save(path string) error {
 	data, err := w.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// SaveCompact writes the workflow as compact JSON to path — used for
+// generated instances, where nobody reads the bytes and indentation
+// only inflates file size and encode time.
+func (w *Workflow) SaveCompact(path string) error {
+	data, err := w.MarshalCompact()
 	if err != nil {
 		return err
 	}

@@ -95,8 +95,9 @@ func BenchmarkSchedulingDiamond(b *testing.B) {
 }
 
 // BenchmarkInvokeAllocs measures per-invocation allocations on the
-// manager's HTTP hot path (run with -benchmem): the pooled encode
-// buffers keep the request-building side flat.
+// manager's HTTP hot path (run with -benchmem): the pre-rendered
+// invocation plan — payload arena, request templates, pooled body
+// readers and decode buffers — keeps the request-building side flat.
 func BenchmarkInvokeAllocs(b *testing.B) {
 	drive := sharedfs.NewMem()
 	srv := benchStub(b, drive, 0)
@@ -104,12 +105,15 @@ func BenchmarkInvokeAllocs(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	task := synthTask("bench", srv.URL+"/wfbench", nil)
+	p, err := newInvocationPlan([]*wfformat.Task{synthTask("bench", srv.URL+"/wfbench", nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
 	rs := m.newResilience(time.Now())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := m.invoke(context.Background(), task, rs); err != nil {
+		if _, _, err := m.invoke(context.Background(), p, 0, rs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,20 +13,29 @@ import (
 )
 
 // dispatchItem is one runnable task handed from the event loop to the
-// worker pool.
+// worker pool, identified by its interned DAG ID.
 type dispatchItem struct {
-	task  *wfformat.Task
-	phase int           // static topological level, for reporting
+	id    int32
 	ready time.Duration // when the scheduler released the task
 }
 
+// completion pairs a finished task's ID with its result so the event
+// loop can feed the scheduler without a name lookup.
+type completion struct {
+	id int32
+	tr *TaskResult
+}
+
 // runDependency executes the workflow with dependency-driven scheduling:
-// a dag.Scheduler tracks readiness in O(edges) total, a fixed worker
-// pool issues the HTTP invocations, and a completion channel feeds
-// finished tasks back into the single-threaded event loop, which
-// releases newly-ready children immediately. There are no phase barriers
-// and no inter-phase delays; per-task input waits use the shared drive's
-// change notification (sharedfs.Watcher) where available.
+// a dag.Scheduler tracks readiness in O(edges) total over the compiled
+// CSR — the whole event loop runs on interned int32 task IDs, with
+// strings only appearing in the TaskResults handed back to callers — a
+// fixed worker pool issues the HTTP invocations, and a completion
+// channel feeds finished tasks back into the single-threaded event
+// loop, which releases newly-ready children immediately. There are no
+// phase barriers and no inter-phase delays; per-task input waits use
+// the shared drive's change notification (sharedfs.Watcher) where
+// available.
 //
 // Failure semantics: descendants of a failed function are never invoked
 // (their inputs cannot appear) and are recorded as skipped failures.
@@ -34,24 +43,13 @@ type dispatchItem struct {
 // in flight or queued. On context cancellation the loop stops
 // dispatching, drains the workers, records partial TaskResults, and
 // returns ctx.Err() with no goroutines left behind.
-func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
-	g, err := w.Graph()
-	if err != nil {
-		return nil, err
-	}
-	levels, err := g.LevelOf()
-	if err != nil {
-		return nil, err
-	}
-	sched, err := dag.NewScheduler(g)
-	if err != nil {
-		return nil, err
-	}
+func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan) (*Result, error) {
+	sched := dag.NewSchedulerCSR(csr)
 
 	res := &Result{
 		Workflow:   w.Name,
 		Scheduling: ScheduleDependency,
-		Tasks:      make(map[string]*TaskResult, w.Len()+2),
+		Tasks:      make(map[string]*TaskResult, p.len()+2),
 	}
 	start := time.Now()
 	rs := m.newResilience(start)
@@ -59,7 +57,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 	if err := m.stageHeader(w, res, start); err != nil {
 		return res, err
 	}
-	n := w.Len()
+	n := p.len()
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -71,7 +69,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 	// Both channels hold every task, so neither workers nor the event
 	// loop can ever block on the other side having gone away.
 	dispatch := make(chan dispatchItem, n)
-	completions := make(chan *TaskResult, n)
+	completions := make(chan completion, n)
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -79,15 +77,15 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 		go func() {
 			defer wg.Done()
 			for item := range dispatch {
-				completions <- m.runTask(runCtx, item, start, rs)
+				completions <- completion{item.id, m.runTask(runCtx, p, csr, item, start, rs)}
 			}
 		}()
 	}
 
-	enqueue := func(names []string) {
+	enqueue := func(ids []int32) {
 		now := time.Since(start)
-		for _, name := range names {
-			dispatch <- dispatchItem{task: w.Tasks[name], phase: levels[name] + 1, ready: now}
+		for _, id := range ids {
+			dispatch <- dispatchItem{id: id, ready: now}
 		}
 	}
 
@@ -103,38 +101,41 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 	// via a worker completion or via skip propagation from a failed
 	// ancestor — so the loop terminates when the count drains. A
 	// scheduler-state error breaks out instead of returning so the
-	// worker pool is always drained below, never leaked.
+	// worker pool is always drained below, never leaked. The ID slices
+	// the scheduler returns are scratch, valid until its next call —
+	// enqueue and the skip loop consume them before that.
 	var stateErr error
-	enqueue(sched.TakeReady())
+	enqueue(sched.TakeReadyIDs())
 	for accounted := 0; accounted < n && stateErr == nil; {
-		tr := <-completions
+		c := <-completions
 		accounted++
-		record(tr)
-		if tr.Err != nil {
+		record(c.tr)
+		if c.tr.Err != nil {
 			if !m.opts.ContinueOnError {
 				cancel()
 			}
-			skipped, serr := sched.Fail(tr.Name)
+			skipped, serr := sched.FailID(c.id)
 			if serr != nil {
 				stateErr = fmt.Errorf("wfm: scheduler state: %w", serr)
 				break
 			}
 			now := time.Since(start)
-			for _, s := range skipped {
+			for _, sid := range skipped {
 				accounted++
+				st := p.tasks[sid]
 				record(&TaskResult{
-					Name:     s,
-					Category: w.Tasks[s].Category,
-					Phase:    levels[s] + 1,
+					Name:     st.Name,
+					Category: st.Category,
+					Phase:    int(csr.Level(sid)) + 1,
 					Ready:    now,
 					Start:    now,
 					End:      now,
-					Err:      fmt.Errorf("wfm: %s: skipped: ancestor %s failed", s, tr.Name),
+					Err:      fmt.Errorf("wfm: %s: skipped: ancestor %s failed", st.Name, c.tr.Name),
 				})
 			}
 			continue
 		}
-		newly, serr := sched.Complete(tr.Name)
+		newly, serr := sched.CompleteID(c.id)
 		if serr != nil {
 			stateErr = fmt.Errorf("wfm: scheduler state: %w", serr)
 			break
@@ -155,7 +156,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 
 	// Report the static phase structure for comparability with
 	// SchedulePhases output (analysis, Gantt, per-phase breakdowns).
-	phases, _ := w.Phases()
+	phases := levelPhases(csr)
 	res.Phases = append(res.Phases, phases...)
 	tail := &TaskResult{
 		Name: TailName, Category: "tail",
@@ -180,11 +181,12 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow) (*Res
 
 // runTask executes one dispatched task on a worker: wait for its input
 // files (event-driven on drives that support watching), then invoke.
-func (m *Manager) runTask(ctx context.Context, item dispatchItem, start time.Time, rs *resilience) *TaskResult {
+func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, item dispatchItem, start time.Time, rs *resilience) *TaskResult {
+	task := p.tasks[item.id]
 	tr := &TaskResult{
-		Name:     item.task.Name,
-		Category: item.task.Category,
-		Phase:    item.phase,
+		Name:     task.Name,
+		Category: task.Category,
+		Phase:    int(csr.Level(item.id)) + 1,
 		Ready:    item.ready,
 	}
 	if err := ctx.Err(); err != nil {
@@ -193,19 +195,19 @@ func (m *Manager) runTask(ctx context.Context, item dispatchItem, start time.Tim
 		tr.Err = err
 		return tr
 	}
-	if inputs := item.task.InputFiles(); len(inputs) > 0 {
+	if inputs := task.InputFiles(); len(inputs) > 0 {
 		waitCtx, cancel := context.WithTimeout(ctx, m.scaled(m.opts.InputWait))
 		missing, err := sharedfs.WaitFor(waitCtx, m.opts.Drive, inputs, m.scaled(m.opts.InputWait)/100)
 		cancel()
 		if err != nil {
 			tr.Start = time.Since(start)
 			tr.End = tr.Start
-			tr.Err = fmt.Errorf("wfm: %s: inputs missing on shared drive: %v: %w", item.task.Name, missing, err)
+			tr.Err = fmt.Errorf("wfm: %s: inputs missing on shared drive: %v: %w", task.Name, missing, err)
 			return tr
 		}
 	}
 	tr.Start = time.Since(start)
-	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, item.task, rs)
+	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, item.id, rs)
 	tr.End = time.Since(start)
 	return tr
 }
@@ -219,5 +221,13 @@ func (m *Manager) RunEager(ctx context.Context, w *wfformat.Workflow) (*Result, 
 	if err := m.validateRunnable(w); err != nil {
 		return nil, err
 	}
-	return m.runDependency(ctx, w)
+	csr, tasks, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	p, err := newInvocationPlan(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return m.runDependency(ctx, w, csr, p)
 }

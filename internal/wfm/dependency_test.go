@@ -333,15 +333,18 @@ func TestEmptyArgumentsRejectedUpFront(t *testing.T) {
 	}
 }
 
-// TestInvokeOnceGuardsEmptyArguments exercises the defensive in-flight
-// check directly (the up-front validation normally prevents this).
-func TestInvokeOnceGuardsEmptyArguments(t *testing.T) {
-	m := fastManager(t, sharedfs.NewMem(), nil)
+// TestPlanGuardsEmptyArguments exercises the defensive check directly:
+// since the hot path serves pre-encoded bodies, the argument-block
+// guard that used to live in invokeOnce now fails plan construction.
+func TestPlanGuardsEmptyArguments(t *testing.T) {
 	task := synthTask("bare", "http://localhost/none", nil)
 	task.Command.Arguments = nil
-	resp, retriable, _, err := m.invokeOnce(context.Background(), task)
-	if err == nil || retriable || resp != nil {
-		t.Fatalf("invokeOnce = %v, %v, %v; want non-retriable error", resp, retriable, err)
+	p, err := newInvocationPlan([]*wfformat.Task{task})
+	if err == nil || p != nil {
+		t.Fatalf("newInvocationPlan = %v, %v; want argument-block error", p, err)
+	}
+	if !strings.Contains(err.Error(), "argument") {
+		t.Fatalf("err = %v, want argument-block complaint", err)
 	}
 }
 

@@ -1,0 +1,167 @@
+package wfm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+
+	"wfserverless/internal/wfbench"
+	"wfserverless/internal/wfformat"
+)
+
+// invocationPlan is the pre-computed invocation side of one run. The
+// manager invokes every task at least once and flaky tasks many times,
+// so everything derivable from the workflow alone is rendered up front,
+// ID-aligned with the compiled DAG: the WfBench JSON bodies (one
+// contiguous payload arena plus an offset table, encoded with a single
+// encoder pass instead of one encoder per attempt), the parsed
+// endpoint URLs (deduplicated — a translated workflow typically points
+// every task at one ingress), and an http.Request template per task
+// carrying method, URL, headers, length and GetBody. The per-attempt
+// hot path is then one shallow request clone plus one pooled body
+// reader.
+type invocationPlan struct {
+	tasks  []*wfformat.Task // ID-aligned with the run's dag.CSR
+	reqs   []*http.Request  // per-task request scaffolding, never sent directly
+	bodies []byte           // payload arena: all request bodies back to back
+	off    []int32          // len(tasks)+1 offsets into bodies
+}
+
+// sharedJSONHeader is the one header map every invocation shares. It
+// must never be mutated: net/http treats an outgoing request's Header
+// as read-only (it only clones it when the URL carries userinfo, which
+// translated api_urls never do).
+var sharedJSONHeader = http.Header{"Content-Type": {"application/json"}}
+
+// newInvocationPlan renders the per-task invocation artifacts for the
+// ID-aligned task slice produced by wfformat.Workflow.Compile.
+func newInvocationPlan(tasks []*wfformat.Task) (*invocationPlan, error) {
+	n := len(tasks)
+	p := &invocationPlan{
+		tasks: tasks,
+		reqs:  make([]*http.Request, n),
+		off:   make([]int32, n+1),
+	}
+	var buf bytes.Buffer
+	buf.Grow(256 * n)
+	enc := json.NewEncoder(&buf)
+	urls := make(map[string]*url.URL)
+	// One backing array for the request structs instead of n tiny
+	// allocations.
+	scaffold := make([]http.Request, n)
+	for i, task := range tasks {
+		if len(task.Command.Arguments) == 0 {
+			return nil, fmt.Errorf("wfm: task %q has no argument block; malformed translated workflow", task.Name)
+		}
+		arg := task.Command.Arguments[0]
+		wreq := wfbench.Request{
+			Name:       arg.Name,
+			PercentCPU: arg.PercentCPU,
+			CPUWork:    arg.CPUWork,
+			Cores:      task.Cores,
+			MemBytes:   arg.MemBytes,
+			Out:        arg.Out,
+			Inputs:     arg.Inputs,
+			Workdir:    arg.Workdir,
+		}
+		if err := enc.Encode(&wreq); err != nil {
+			return nil, fmt.Errorf("wfm: %s: encode: %w", task.Name, err)
+		}
+		if buf.Len() > math.MaxInt32 {
+			return nil, fmt.Errorf("wfm: request payloads exceed %d bytes", math.MaxInt32)
+		}
+		p.off[i+1] = int32(buf.Len())
+		u := urls[task.Command.APIURL]
+		if u == nil {
+			var err error
+			u, err = url.Parse(task.Command.APIURL)
+			if err != nil {
+				return nil, fmt.Errorf("wfm: %s: %w", task.Name, err)
+			}
+			urls[task.Command.APIURL] = u
+		}
+		scaffold[i] = http.Request{
+			Method:     http.MethodPost,
+			URL:        u,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     sharedJSONHeader,
+		}
+		p.reqs[i] = &scaffold[i]
+	}
+	p.bodies = buf.Bytes()
+	// ContentLength and GetBody reference the finished arena; the
+	// buffer may have reallocated while growing, so fill them in a
+	// second pass over the final bytes.
+	for i := range tasks {
+		body := p.body(int32(i))
+		req := p.reqs[i]
+		req.ContentLength = int64(len(body))
+		req.GetBody = func() (io.ReadCloser, error) { return newArenaBody(body), nil }
+	}
+	return p, nil
+}
+
+// body returns the task's pre-encoded WfBench request: a view into the
+// arena, valid for the plan's lifetime.
+func (p *invocationPlan) body(id int32) []byte { return p.bodies[p.off[id]:p.off[id+1]] }
+
+// request clones the task's template for one attempt. The clone shares
+// the parsed URL, header map, and GetBody with the template; only the
+// Body reader is per-attempt state.
+func (p *invocationPlan) request(ctx context.Context, id int32) *http.Request {
+	req := p.reqs[id].WithContext(ctx)
+	req.Body = newArenaBody(p.body(id))
+	return req
+}
+
+func (p *invocationPlan) len() int { return len(p.tasks) }
+
+// arenaBody streams one task's pre-encoded body out of the plan's
+// payload arena. The bytes themselves are never recycled — the arena
+// lives for the whole run, which is what makes re-reads for retries
+// and GetBody replays safe — only the reader object is pooled. Close
+// is CAS-guarded so the double Close the HTTP client can issue on
+// error paths recycles the reader exactly once. The transport may
+// close the body asynchronously after Client.Do returns (a server can
+// respond before draining the upload — see
+// TestPooledBufferSurvivesEarlyResponse): only that final Close hands
+// the reader back, or a concurrent invocation would reset the read
+// cursor of a body still going out on the wire.
+type arenaBody struct {
+	r      bytes.Reader
+	closed atomic.Bool
+}
+
+var arenaBodies = sync.Pool{New: func() any { return new(arenaBody) }}
+
+func newArenaBody(b []byte) *arenaBody {
+	ab := arenaBodies.Get().(*arenaBody)
+	ab.closed.Store(false)
+	ab.r.Reset(b)
+	return ab
+}
+
+func (b *arenaBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *arenaBody) Close() error {
+	if b.closed.CompareAndSwap(false, true) {
+		b.r.Reset(nil)
+		arenaBodies.Put(b)
+	}
+	return nil
+}
+
+// decodeBufs recycles response read buffers: the decode path drains
+// each response into a pooled buffer and unmarshals in place instead
+// of allocating a fresh json.Decoder (and its internal buffer) per
+// invocation.
+var decodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}

@@ -1,0 +1,124 @@
+package wfm
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+
+	"wfserverless/internal/wfbench"
+	"wfserverless/internal/wfformat"
+)
+
+// invokeTask builds a single-task invocation plan and invokes task 0 —
+// shim for the resilience tests, which exercise the retry/breaker
+// machinery one ad-hoc task at a time.
+func (m *Manager) invokeTask(ctx context.Context, task *wfformat.Task, rs *resilience) (*wfbench.Response, int, error) {
+	p, err := newInvocationPlan([]*wfformat.Task{task})
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.invoke(ctx, p, 0, rs)
+}
+
+// TestInvocationPlanBodies pins the payload arena: every task's body
+// slice decodes back to exactly the WfBench request invokeOnce used to
+// encode per attempt, ContentLength agrees, and GetBody replays the
+// same bytes.
+func TestInvocationPlanBodies(t *testing.T) {
+	tasks := []*wfformat.Task{
+		synthTask("alpha", "http://endpoint/task/alpha", nil),
+		synthTask("beta", "http://endpoint/task/beta", []string{"out_alpha"}),
+		synthTask("gamma", "http://other/task/gamma", []string{"out_alpha", "out_beta"}),
+	}
+	p, err := newInvocationPlan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.len() != len(tasks) {
+		t.Fatalf("plan len = %d, want %d", p.len(), len(tasks))
+	}
+	for i, task := range tasks {
+		id := int32(i)
+		body := p.body(id)
+		var got wfbench.Request
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("%s: body does not decode: %v", task.Name, err)
+		}
+		arg := task.Command.Arguments[0]
+		want := wfbench.Request{
+			Name:       arg.Name,
+			PercentCPU: arg.PercentCPU,
+			CPUWork:    arg.CPUWork,
+			Cores:      task.Cores,
+			MemBytes:   arg.MemBytes,
+			Out:        arg.Out,
+			Inputs:     arg.Inputs,
+			Workdir:    arg.Workdir,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: body = %+v, want %+v", task.Name, got, want)
+		}
+		req := p.reqs[id]
+		if req.ContentLength != int64(len(body)) {
+			t.Fatalf("%s: ContentLength = %d, body is %d bytes", task.Name, req.ContentLength, len(body))
+		}
+		rc, err := req.GetBody()
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil || string(replay) != string(body) {
+			t.Fatalf("%s: GetBody replay diverges (%v)", task.Name, err)
+		}
+	}
+}
+
+// TestInvocationPlanSharesParsedURLs pins URL deduplication: tasks
+// translated against one ingress share a single parsed *url.URL.
+func TestInvocationPlanSharesParsedURLs(t *testing.T) {
+	tasks := []*wfformat.Task{
+		synthTask("a", "http://ingress:8080/fn", nil),
+		synthTask("b", "http://ingress:8080/fn", nil),
+		synthTask("c", "http://elsewhere:9090/fn", nil),
+	}
+	p, err := newInvocationPlan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.reqs[0].URL != p.reqs[1].URL {
+		t.Fatal("identical api_urls parsed twice")
+	}
+	if p.reqs[0].URL == p.reqs[2].URL {
+		t.Fatal("distinct api_urls share a URL")
+	}
+}
+
+// TestInvocationPlanRejectsBadTasks covers the plan-time guards that
+// replaced invokeOnce's per-attempt checks.
+func TestInvocationPlanRejectsBadTasks(t *testing.T) {
+	noArgs := synthTask("x", "http://endpoint", nil)
+	noArgs.Command.Arguments = nil
+	if _, err := newInvocationPlan([]*wfformat.Task{noArgs}); err == nil {
+		t.Fatal("task without argument block accepted")
+	}
+	badURL := synthTask("y", "http://bad url with spaces", nil)
+	if _, err := newInvocationPlan([]*wfformat.Task{badURL}); err == nil {
+		t.Fatal("unparseable api_url accepted")
+	}
+}
+
+// TestArenaBodyDoubleClose pins the CAS discipline: a second Close
+// (the HTTP client closes the body itself on some error paths) must
+// not recycle the reader twice.
+func TestArenaBodyDoubleClose(t *testing.T) {
+	b := newArenaBody([]byte(`{"k":"v"}`))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -120,7 +120,7 @@ func TestRetryAfterHonoredEndToEnd(t *testing.T) {
 	})
 	task := synthTask("ra", srv.URL, nil)
 	rs := m.newResilience(time.Now())
-	if _, attempts, err := m.invoke(context.Background(), task, rs); err != nil || attempts != 2 {
+	if _, attempts, err := m.invokeTask(context.Background(), task, rs); err != nil || attempts != 2 {
 		t.Fatalf("invoke = attempts %d, err %v", attempts, err)
 	}
 	if gap := time.Duration(firstRetryGap.Load()); gap < 90*time.Millisecond {
@@ -154,7 +154,7 @@ func TestCancelDuringBackoffReturnsPromptly(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, _, err := m.invoke(ctx, task, rs)
+	_, _, err := m.invokeTask(ctx, task, rs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -190,7 +190,7 @@ func TestTaskTimeoutIsTerminal(t *testing.T) {
 	task := synthTask("stalled", srv.URL, nil)
 	rs := m.newResilience(time.Now())
 	start := time.Now()
-	_, attempts, err := m.invoke(context.Background(), task, rs)
+	_, attempts, err := m.invokeTask(context.Background(), task, rs)
 	if !errors.Is(err, ErrTaskTimeout) {
 		t.Fatalf("err = %v, want ErrTaskTimeout", err)
 	}
@@ -229,7 +229,7 @@ func TestParentCancelBeatsTaskTimeout(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	_, _, err := m.invoke(ctx, task, rs)
+	_, _, err := m.invokeTask(ctx, task, rs)
 	if !errors.Is(err, context.Canceled) || errors.Is(err, ErrTaskTimeout) {
 		t.Fatalf("err = %v, want context.Canceled and not ErrTaskTimeout", err)
 	}
@@ -255,7 +255,7 @@ func TestTaskTimeoutDuringBackoff(t *testing.T) {
 	task := synthTask("bo", srv.URL, nil)
 	rs := m.newResilience(time.Now())
 	start := time.Now()
-	_, _, err := m.invoke(context.Background(), task, rs)
+	_, _, err := m.invokeTask(context.Background(), task, rs)
 	if !errors.Is(err, ErrTaskTimeout) {
 		t.Fatalf("err = %v, want ErrTaskTimeout", err)
 	}
@@ -609,7 +609,7 @@ func TestPooledBufferSurvivesEarlyResponse(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		name := fmt.Sprintf("task-%02d", i)
 		task := synthTask(name, "http://fake/task/"+name, filler)
-		if _, _, err := m.invoke(context.Background(), task, rs); err != nil {
+		if _, _, err := m.invokeTask(context.Background(), task, rs); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"wfserverless/internal/dag"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
 	"wfserverless/internal/wfformat"
@@ -286,10 +287,18 @@ func (m *Manager) Run(ctx context.Context, w *wfformat.Workflow) (*Result, error
 	if err := m.validateRunnable(w); err != nil {
 		return nil, err
 	}
-	if m.opts.Scheduling == ScheduleDependency {
-		return m.runDependency(ctx, w)
+	csr, tasks, err := w.Compile()
+	if err != nil {
+		return nil, err
 	}
-	return m.runPhases(ctx, w)
+	p, err := newInvocationPlan(tasks)
+	if err != nil {
+		return nil, err
+	}
+	if m.opts.Scheduling == ScheduleDependency {
+		return m.runDependency(ctx, w, csr, p)
+	}
+	return m.runPhases(ctx, w, csr, p)
 }
 
 // validateRunnable checks that the workflow is executable: structurally
@@ -333,12 +342,27 @@ func (m *Manager) stageHeader(w *wfformat.Workflow, res *Result, start time.Time
 	return nil
 }
 
-// runPhases is the paper's phase-barrier loop (Section III-C).
-func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
-	phases, err := w.Phases()
-	if err != nil {
-		return nil, err
+// levelPhases renders the CSR's topological levels as name lists. IDs
+// are interned in sorted-name order, so the ascending-ID level slices
+// are already lexicographically sorted — identical to the Phases()
+// output the phase report used before the index-based hot path.
+func levelPhases(c *dag.CSR) [][]string {
+	slices := c.LevelSlices()
+	out := make([][]string, len(slices))
+	for i, ids := range slices {
+		names := make([]string, len(ids))
+		for j, id := range ids {
+			names[j] = c.Name(id)
+		}
+		out[i] = names
 	}
+	return out
+}
+
+// runPhases is the paper's phase-barrier loop (Section III-C).
+func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan) (*Result, error) {
+	levels := csr.LevelSlices()
+	phases := levelPhases(csr)
 
 	res := &Result{
 		Workflow:   w.Name,
@@ -365,13 +389,13 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 	}
 
 	var abort *PhaseError
-	for pi, phase := range phases {
+	for pi, level := range levels {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		// Check that every input of the phase is on the shared drive,
 		// waiting briefly for stragglers from the previous phase.
-		if err := m.awaitInputs(ctx, w, phase); err != nil {
+		if err := m.awaitInputs(ctx, p, level); err != nil {
 			if !m.opts.ContinueOnError {
 				return res, fmt.Errorf("wfm: phase %d: %w", pi+1, err)
 			}
@@ -383,24 +407,25 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 		var wg sync.WaitGroup
 		// One contiguous allocation for the whole phase instead of one
 		// heap object per task — wide fan-out phases dispatch hundreds.
-		results := make([]TaskResult, len(phase))
+		results := make([]TaskResult, len(level))
 		ready := time.Since(start)
-		for i, name := range phase {
+		for i, id := range level {
 			wg.Add(1)
-			go func(tr *TaskResult, task *wfformat.Task) {
+			go func(tr *TaskResult, id int32) {
 				defer wg.Done()
 				if sem != nil {
 					sem <- struct{}{}
 					defer func() { <-sem }()
 				}
+				task := p.tasks[id]
 				tr.Name = task.Name
 				tr.Category = task.Category
 				tr.Phase = pi + 1
 				tr.Ready = ready
 				tr.Start = time.Since(start)
-				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, task, rs)
+				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, id, rs)
 				tr.End = time.Since(start)
-			}(&results[i], w.Tasks[name])
+			}(&results[i], id)
 		}
 		wg.Wait()
 
@@ -414,7 +439,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 				errs = append(errs, tr.Err)
 			}
 		}
-		res.Phases = append(res.Phases, append([]string(nil), phase...))
+		res.Phases = append(res.Phases, phases[pi])
 		if len(failed) > 0 {
 			sort.Strings(failed)
 			res.Failed = append(res.Failed, failed...)
@@ -458,10 +483,10 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow) (*Result,
 
 // awaitInputs waits until every input file of the phase's functions is
 // present on the shared drive.
-func (m *Manager) awaitInputs(ctx context.Context, w *wfformat.Workflow, phase []string) error {
+func (m *Manager) awaitInputs(ctx context.Context, p *invocationPlan, level []int32) error {
 	needed := make(map[string]struct{})
-	for _, name := range phase {
-		for _, in := range w.Tasks[name].InputFiles() {
+	for _, id := range level {
+		for _, in := range p.tasks[id].InputFiles() {
 			needed[in] = struct{}{}
 		}
 	}
@@ -488,7 +513,8 @@ func (m *Manager) awaitInputs(ctx context.Context, w *wfformat.Workflow, phase [
 // server Retry-After hints, and the endpoint's circuit breaker. It
 // returns the response, the number of attempts made, and the terminal
 // error if the task failed.
-func (m *Manager) invoke(ctx context.Context, task *wfformat.Task, rs *resilience) (*wfbench.Response, int, error) {
+func (m *Manager) invoke(ctx context.Context, p *invocationPlan, id int32, rs *resilience) (*wfbench.Response, int, error) {
+	task := p.tasks[id]
 	tctx := ctx
 	if m.opts.TaskTimeout > 0 {
 		var cancel context.CancelFunc
@@ -509,7 +535,7 @@ func (m *Manager) invoke(ctx context.Context, task *wfformat.Task, rs *resilienc
 			resp, err = nil, fmt.Errorf("wfm: %s: %s: %w", task.Name, task.Command.APIURL, ErrCircuitOpen)
 			retriable = true
 		} else {
-			resp, retriable, retryAfter, err = m.invokeOnce(tctx, task)
+			resp, retriable, retryAfter, err = m.invokeOnce(tctx, p, id)
 			if br != nil {
 				br.record(classify(ctx, tctx, retriable, err))
 			}
@@ -565,69 +591,15 @@ func classify(ctx, tctx context.Context, retriable bool, err error) attemptOutco
 	return outcomeSuccess
 }
 
-// encodeBufs recycles JSON request buffers across invocations: a wide
-// fan-out phase issues hundreds of simultaneous POSTs, and one pooled
-// buffer per in-flight request beats one fresh allocation per call.
-var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// pooledBody serves an encoded request from a pooled buffer and
-// returns the buffer to the pool exactly once, when the transport
-// closes the body. The transport can keep streaming the body after
-// Client.Do has returned — a server may respond before draining the
-// request — so recycling the buffer any earlier would let a concurrent
-// invocation scribble over bytes still being written to the wire.
-type pooledBody struct {
-	r    *bytes.Reader
-	buf  *bytes.Buffer
-	once sync.Once
-}
-
-func newPooledBody(buf *bytes.Buffer) *pooledBody {
-	return &pooledBody{r: bytes.NewReader(buf.Bytes()), buf: buf}
-}
-
-func (b *pooledBody) Read(p []byte) (int, error) { return b.r.Read(p) }
-
-func (b *pooledBody) Close() error {
-	b.once.Do(func() { encodeBufs.Put(b.buf) })
-	return nil
-}
-
-// invokeOnce performs a single HTTP invocation. retriable reports
-// whether a failure is worth retrying (network error, 5xx, or 429);
-// retryAfter carries the server's Retry-After hint when it sent one.
-func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfbench.Response, retriable bool, retryAfter time.Duration, _ error) {
-	if len(task.Command.Arguments) == 0 {
-		// validateRunnable rejects this up front; guard again so a
-		// manager misuse cannot panic mid-flight.
-		return nil, false, 0, fmt.Errorf("wfm: %s: no argument block", task.Name)
-	}
-	arg := task.Command.Arguments[0]
-	req := wfbench.Request{
-		Name:       arg.Name,
-		PercentCPU: arg.PercentCPU,
-		CPUWork:    arg.CPUWork,
-		Cores:      task.Cores,
-		MemBytes:   arg.MemBytes,
-		Out:        arg.Out,
-		Inputs:     arg.Inputs,
-		Workdir:    arg.Workdir,
-	}
-	buf := encodeBufs.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(&req); err != nil {
-		encodeBufs.Put(buf)
-		return nil, false, 0, fmt.Errorf("wfm: %s: encode: %w", task.Name, err)
-	}
-	body := newPooledBody(buf)
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, task.Command.APIURL, body)
-	if err != nil {
-		body.Close()
-		return nil, false, 0, fmt.Errorf("wfm: %s: %w", task.Name, err)
-	}
-	hreq.ContentLength = int64(buf.Len())
-	hreq.Header.Set("Content-Type", "application/json")
-	hres, err := m.opts.Client.Do(hreq)
+// invokeOnce performs a single HTTP invocation from the plan's
+// pre-rendered artifacts: a shallow clone of the task's request
+// template, a pooled reader over the task's arena body, and a pooled
+// decode buffer for the response. retriable reports whether a failure
+// is worth retrying (network error, 5xx, or 429); retryAfter carries
+// the server's Retry-After hint when it sent one.
+func (m *Manager) invokeOnce(ctx context.Context, p *invocationPlan, id int32) (_ *wfbench.Response, retriable bool, retryAfter time.Duration, _ error) {
+	task := p.tasks[id]
+	hres, err := m.opts.Client.Do(p.request(ctx, id))
 	if err != nil {
 		return nil, ctx.Err() == nil, 0, fmt.Errorf("wfm: %s: request: %w", task.Name, err)
 	}
@@ -641,8 +613,15 @@ func (m *Manager) invokeOnce(ctx context.Context, task *wfformat.Task) (_ *wfben
 		return nil, retriable, retryAfter,
 			fmt.Errorf("wfm: %s: HTTP %d: %s", task.Name, hres.StatusCode, strings.TrimSpace(string(msg)))
 	}
+	buf := decodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
 	var resp wfbench.Response
-	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+	_, err = buf.ReadFrom(hres.Body)
+	if err == nil {
+		err = json.Unmarshal(buf.Bytes(), &resp)
+	}
+	decodeBufs.Put(buf)
+	if err != nil {
 		return nil, false, 0, fmt.Errorf("wfm: %s: decode: %w", task.Name, err)
 	}
 	if !resp.OK {
