@@ -4,7 +4,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test tier1 check race bench bench-all bench-sched vet clean
+.PHONY: all build test tier1 check race race-obs bench bench-all bench-sched vet clean
 
 all: tier1
 
@@ -27,6 +27,12 @@ race:
 	$(GO) build -race ./...
 	$(GO) test -race ./...
 
+# race-obs is the focused race gate for the observability plane: span
+# pooling, the monitor's atomics, and the manager hot path they ride on
+# are the concurrency-dense code most likely to regress under -race.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/wfm/...
+
 # check is the pre-merge bar: tier1 plus vet and the race detector.
 check: tier1 vet race
 
@@ -38,7 +44,7 @@ check: tier1 vet race
 bench:
 	@tmp=$$(mktemp) || exit 1; \
 	( $(GO) test ./internal/dag -run xxx -bench 'SchedulerThroughput|CSRBuild' -benchmem -benchtime $(BENCHTIME) && \
-	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs' -benchmem -benchtime $(BENCHTIME) && \
+	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs|TracingOverhead' -benchmem -benchtime $(BENCHTIME) && \
 	  $(GO) test . -run xxx -bench 'InvocationThroughput' -benchmem -benchtime $(BENCHTIME) \
 	) > $$tmp 2>&1; \
 	status=$$?; cat $$tmp; \

@@ -6,15 +6,21 @@
 //
 //	analyze -csv results/campaign.csv
 //	analyze -csv results/campaign.csv -figure Figure7 -metric mean_cpu_cores
+//	analyze -trace results/run.trace.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"wfserverless/internal/analysis"
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/wfm"
 )
 
@@ -24,8 +30,14 @@ func main() {
 		figure    = flag.String("figure", "", "figure to render (default: all present)")
 		metric    = flag.String("metric", "", "metric to render (default: all of "+fmt.Sprint(analysis.Metrics)+")")
 		ganttPath = flag.String("gantt", "", "render an execution trace (from wfm -trace) as a Gantt chart instead")
+		spanPath  = flag.String("trace", "", "summarize a span trace (Chrome trace JSON, span JSONL, or wfm trace JSON) instead")
 	)
 	flag.Parse()
+
+	if *spanPath != "" {
+		runTraceSummary(*spanPath)
+		return
+	}
 
 	if *ganttPath != "" {
 		f, err := os.Open(*ganttPath)
@@ -86,6 +98,111 @@ func main() {
 			fmt.Printf("  %-14s %8.2f\n", p, agg[p])
 		}
 		fmt.Println()
+	}
+}
+
+// loadSpanRecords reads a span file in any of the three formats the
+// tooling writes, sniffing by structure: Chrome trace-event JSON (the
+// object form with a traceEvents array), wfm trace JSON (cmd/wfm
+// -trace, which embeds spans when tracing was on), or flat span JSONL.
+// The returned *wfm.Trace is non-nil only for the wfm format.
+func loadSpanRecords(path string) ([]obs.Record, string, *wfm.Trace) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var probe map[string]json.RawMessage
+	if json.Unmarshal(data, &probe) == nil {
+		if _, ok := probe["traceEvents"]; ok {
+			recs, err := obs.ParseChromeTrace(bytes.NewReader(data))
+			if err != nil {
+				fatal(err)
+			}
+			return recs, "chrome trace", nil
+		}
+		if _, ok := probe["workflow"]; ok {
+			tr, err := wfm.ParseTrace(bytes.NewReader(data))
+			if err != nil {
+				fatal(err)
+			}
+			return tr.Spans, "wfm trace", tr
+		}
+	}
+	recs, err := obs.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		fatal(fmt.Errorf("%s: not chrome trace JSON, wfm trace JSON, or span JSONL: %w", path, err))
+	}
+	return recs, "span log", nil
+}
+
+// runTraceSummary prints what a collected trace says about a run: span
+// volume per layer, latency percentiles per span name, and the critical
+// path that explains the makespan.
+func runTraceSummary(path string) {
+	recs, kind, tr := loadSpanRecords(path)
+	fmt.Printf("trace:      %s (%s, %d spans)\n", path, kind, len(recs))
+	if tr != nil {
+		fmt.Printf("workflow:   %s (%s schedule, makespan %.2f s)\n", tr.Workflow, tr.Scheduling, tr.Makespan)
+		if tr.TraceID != "" {
+			fmt.Printf("trace id:   %s\n", tr.TraceID)
+		}
+	}
+	if len(recs) == 0 {
+		if tr != nil {
+			fmt.Println("no spans embedded; rerun cmd/wfm with -sample or a trace output flag")
+		}
+		return
+	}
+
+	layers := map[string]int{}
+	byName := map[string]*metrics.Series{}
+	for _, r := range recs {
+		layers[r.Layer]++
+		// WFM task spans carry the task's own name; bucket them so a
+		// 100k-task trace still summarizes to a handful of rows.
+		key := r.Name
+		if r.Layer == obs.LayerWFM {
+			switch {
+			case strings.HasPrefix(r.Name, "workflow:"):
+				key = "workflow"
+			case r.Name != "invoke" && r.Name != "warm":
+				key = "task"
+			}
+		}
+		s := byName[key]
+		if s == nil {
+			s = &metrics.Series{}
+			byName[key] = s
+		}
+		s.Values = append(s.Values, r.DurMS)
+	}
+	fmt.Printf("layers:    ")
+	for _, layer := range []string{obs.LayerWFM, obs.LayerPlatform, obs.LayerWfbench} {
+		if n := layers[layer]; n > 0 {
+			fmt.Printf(" %s=%d", layer, n)
+			delete(layers, layer)
+		}
+	}
+	for layer, n := range layers {
+		fmt.Printf(" %s=%d", layer, n)
+	}
+	fmt.Println()
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-24s %7s %10s %10s %10s %10s\n", "span", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
+	for _, n := range names {
+		s := byName[n]
+		fmt.Printf("%-24s %7d %10.3f %10.3f %10.3f %10.3f\n",
+			n, s.Len(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(99))
+	}
+
+	fmt.Println("\ncritical path (latest-ending root to leaf):")
+	for _, r := range obs.CriticalPath(recs) {
+		fmt.Printf("  %-10s %-24s %10.3f ms at %.3f ms\n", r.Layer, r.Name, r.DurMS, r.StartMS)
 	}
 }
 

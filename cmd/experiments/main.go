@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -48,6 +49,10 @@ func main() {
 		scaleShape    = flag.String("scale-shape", "random", "scale suite: random | chain | fanout")
 		scaleWidth    = flag.Int("scale-width", 64, "scale suite: tasks per layer for the random shape")
 		scaleParallel = flag.Int("scale-parallel", 256, "scale suite: max simultaneous invocations")
+
+		// Tracing of the resilience and scale suites.
+		traceSample = flag.Float64("trace", 0, "span sampling ratio for the resilience and scale suites (0 disables, 1 records every run)")
+		traceDir    = flag.String("trace-dir", "results", "directory receiving per-run trace files (Chrome trace JSON + span JSONL)")
 
 		// Profiling of whatever suite runs.
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -135,7 +140,7 @@ func main() {
 	case "concurrent":
 		runConcurrent(ctx, sz, *seed, tn)
 	case "resilience":
-		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed)
+		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed, *traceSample, *traceDir)
 	case "design":
 		printDesign()
 	case "table2":
@@ -158,7 +163,8 @@ func main() {
 			Scheduling:  mode,
 			MaxParallel: *scaleParallel,
 			Seed:        *seed,
-		})
+			TraceSample: *traceSample,
+		}, *traceDir)
 	case "all":
 		printDesign()
 		printTable2()
@@ -175,7 +181,7 @@ func main() {
 // runScale executes one synthetic large-workflow campaign and prints a
 // single result row; pair with -cpuprofile/-memprofile to see where the
 // hot path spends its time at 100k tasks.
-func runScale(ctx context.Context, cfg experiments.ScaleConfig) {
+func runScale(ctx context.Context, cfg experiments.ScaleConfig, traceDir string) {
 	fmt.Printf("== Scale: %d-task %s workflow, %s scheduling ==\n",
 		cfg.Tasks, shapeName(cfg.Shape), cfg.Scheduling)
 	res, err := experiments.Scale(ctx, cfg)
@@ -192,7 +198,42 @@ func runScale(ctx context.Context, cfg experiments.ScaleConfig) {
 	if res.Completed != res.Tasks {
 		fatal(fmt.Errorf("only %d of %d tasks completed", res.Completed, res.Tasks))
 	}
+	writeTrace(traceDir, fmt.Sprintf("scale_%s_%d_%s", shapeName(res.Shape), res.Tasks, res.Scheduling), res.Trace)
 	fmt.Println()
+}
+
+// writeTrace exports one run's spans under the trace directory as both
+// Perfetto-loadable Chrome trace JSON and a flat span log. A nil or
+// empty trace (tracing off, or the run lost the sampling draw) writes
+// nothing.
+func writeTrace(dir, name string, tr *wfm.Trace) {
+	if tr == nil || len(tr.Spans) == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	chromePath := filepath.Join(dir, name+".trace.json")
+	f, err := os.Create(chromePath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	f.Close()
+	spanPath := filepath.Join(dir, name+".spans.jsonl")
+	f, err = os.Create(spanPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteSpanLog(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	f.Close()
+	fmt.Printf("traces: %s %s (%d spans)\n", chromePath, spanPath, len(tr.Spans))
 }
 
 func shapeName(s string) string {
@@ -245,12 +286,13 @@ func runConcurrent(ctx context.Context, sz experiments.Sizes, seed int64, tn exp
 // runResilience executes the flaky-endpoint experiment: a workflow
 // against a fault-injecting WfBench service, with retries, backoff, and
 // the circuit breaker absorbing the chaos, in both scheduling modes.
-func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64) {
+func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64, traceSample float64, traceDir string) {
 	cfg := experiments.ResilienceConfig{
-		Recipe:    "blast",
-		NumTasks:  size,
-		Seed:      seed,
-		TimeScale: timeScale,
+		Recipe:      "blast",
+		NumTasks:    size,
+		Seed:        seed,
+		TimeScale:   timeScale,
+		TraceSample: traceSample,
 		Profile: wfbench.FaultProfile{
 			ErrorRate:     errorRate,
 			RejectRate:    rejectRate,
@@ -270,6 +312,9 @@ func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRa
 	}
 	if err := experiments.WriteResilienceTable(os.Stdout, ms); err != nil {
 		fatal(err)
+	}
+	for _, m := range ms {
+		writeTrace(traceDir, fmt.Sprintf("resilience_%s_%d_%s", cfg.Recipe, size, m.Scheduling), m.Trace)
 	}
 	fmt.Println()
 }

@@ -13,13 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
 )
@@ -46,6 +50,8 @@ func main() {
 		faultHangRate   = flag.Float64("fault-hang-rate", 0, "probability of hanging until the client gives up")
 		faultMaxHang    = flag.Duration("fault-max-hang", 0, "upper bound on an injected hang (0: 30s)")
 		faultSeed       = flag.Int64("fault-seed", 0, "seed for the fault sequence (0: fixed default)")
+
+		spanLog = flag.String("span-log", "", "record phase spans for requests carrying a Traceparent header; written as JSONL on shutdown")
 	)
 	flag.Parse()
 
@@ -57,12 +63,20 @@ func main() {
 	if *burn {
 		engine = wfbench.BurnEngine{}
 	}
+	// Tracing here is entirely caller-driven: the tracer only records
+	// spans as children of a propagated Traceparent, so the sampling
+	// decision stays with the workflow manager that minted the trace.
+	var tracer *obs.Tracer
+	if *spanLog != "" {
+		tracer = obs.NewTracer(obs.Options{SampleRatio: 1})
+	}
 	bench, err := wfbench.New(wfbench.Config{
 		Drive:     drive,
 		Engine:    engine,
 		TimeScale: *timeScale,
 		InputWait: *inputWait,
 		KeepMem:   *keepMem,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -93,10 +107,40 @@ func main() {
 			profile.ErrorRate, profile.RejectRate, profile.RetryAfter,
 			profile.LatencyRate, profile.Latency, profile.LatencyJitter, profile.HangRate)
 	}
-	log.Printf("wfbench-serve: listening on %s, %d workers, workdir %s, keep-mem=%v burn=%v",
+	// The telemetry plane (/metrics, /healthz, /debug/pprof) bypasses the
+	// fault injector: an operator watching a chaos run still needs honest
+	// metrics and profiles. Only /wfbench rides through the faults.
+	mux := obs.TelemetryMux(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		svc.WriteMetrics(w)
+	})
+	mux.Handle("/wfbench", handler)
+	log.Printf("wfbench-serve: listening on %s, %d workers, workdir %s, keep-mem=%v burn=%v (telemetry: /metrics /healthz /debug/pprof)",
 		*addr, *workers, drive.Root(), *keepMem, *burn)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Shutdown(context.Background())
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
+	}
+	if tracer != nil {
+		recs := obs.RecordsOf(tracer.Take())
+		f, err := os.Create(*spanLog)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteJSONL(f, recs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		log.Printf("wfbench-serve: wrote %d spans to %s", len(recs), *spanLog)
 	}
 }
 

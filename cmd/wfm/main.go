@@ -21,11 +21,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
 	"wfserverless/internal/experiments"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfformat"
 	"wfserverless/internal/wfm"
@@ -53,6 +58,12 @@ func main() {
 		breakerThreshold = flag.Float64("breaker-threshold", 0, "failure rate that opens the breaker (0: 0.5)")
 		breakerWindow    = flag.Int("breaker-window", 0, "sliding window of attempts per endpoint (0: 20)")
 		breakerCooldown  = flag.Float64("breaker-cooldown", 0, "open-state cooldown before probing, nominal seconds (0: 5)")
+
+		sample      = flag.Float64("sample", 0, "trace sampling ratio in (0,1]: fraction of workflow roots recorded (0: off unless a trace output is set)")
+		chromeTrace = flag.String("chrome-trace", "", "write spans as Chrome trace-event JSON (load at ui.perfetto.dev or chrome://tracing)")
+		spanLog     = flag.String("span-log", "", "write spans as flat JSONL, one span per line")
+		telemetry   = flag.String("telemetry-addr", "", "serve live telemetry on this address: /metrics, /healthz, /debug/pprof")
+		logLevel    = flag.String("log-level", "", "structured event logging to stderr: debug, info, warn, or error (empty: off)")
 	)
 	flag.Parse()
 	if *workflow == "" {
@@ -70,8 +81,32 @@ func main() {
 		fatal(err)
 	}
 
+	// Observability plane, shared by both modes. A requested trace
+	// output implies full sampling unless -sample says otherwise.
+	ratio := *sample
+	if ratio == 0 && (*chromeTrace != "" || *spanLog != "") {
+		ratio = 1
+	}
+	var tracer *obs.Tracer
+	if ratio > 0 {
+		tracer = obs.NewTracer(obs.Options{SampleRatio: ratio})
+	}
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fatal(fmt.Errorf("-log-level: %w", err))
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	var monitor *wfm.Monitor
+	if *telemetry != "" {
+		monitor = wfm.NewMonitor()
+		startTelemetry(*telemetry, monitor)
+	}
+
 	if *paradigm != "" {
-		runSimulated(w, *paradigm, *timeScale, mode, *verbose)
+		runSimulated(w, *paradigm, *timeScale, mode, *verbose, tracer, monitor, logger, *chromeTrace, *spanLog)
 		return
 	}
 
@@ -95,6 +130,9 @@ func main() {
 			Window:           *breakerWindow,
 			Cooldown:         *breakerCooldown,
 		},
+		Tracer:  tracer,
+		Monitor: monitor,
+		Logger:  logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -117,10 +155,61 @@ func main() {
 		}
 		fmt.Printf("trace:     %s\n", *tracePath)
 	}
+	writeSpanOutputs(wfm.TraceOf(res), *chromeTrace, *spanLog)
 	printResult(res, *verbose)
 }
 
-func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, mode wfm.Scheduling, verbose bool) {
+// startTelemetry serves the live telemetry plane in the background:
+// manager progress on /metrics, liveness on /healthz, and profiling
+// under /debug/pprof.
+func startTelemetry(addr string, mon *wfm.Monitor) {
+	mux := obs.TelemetryMux(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		mon.WriteMetrics(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("telemetry: http://%s (/metrics /healthz /debug/pprof)\n", ln.Addr())
+	go http.Serve(ln, mux)
+}
+
+// writeSpanOutputs exports the collected spans in the requested
+// formats. A nil or empty trace (tracing off, or nothing sampled)
+// writes nothing.
+func writeSpanOutputs(tr *wfm.Trace, chromePath, logPath string) {
+	if tr == nil || len(tr.Spans) == 0 {
+		if chromePath != "" || logPath != "" {
+			fmt.Fprintln(os.Stderr, "wfm: no spans collected, trace outputs skipped")
+		}
+		return
+	}
+	writeTo := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if chromePath != "" {
+		writeTo(chromePath, tr.WriteChromeTrace)
+		fmt.Printf("chrome trace: %s (%d spans, trace %s)\n", chromePath, len(tr.Spans), tr.TraceID)
+	}
+	if logPath != "" {
+		writeTo(logPath, tr.WriteSpanLog)
+		fmt.Printf("span log:  %s (%d spans)\n", logPath, len(tr.Spans))
+	}
+}
+
+func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, mode wfm.Scheduling, verbose bool,
+	tracer *obs.Tracer, monitor *wfm.Monitor, logger *slog.Logger, chromeTrace, spanLog string) {
 	spec, err := experiments.ByID(experiments.Paradigm(paradigm))
 	if err != nil {
 		fatal(err)
@@ -128,10 +217,14 @@ func runSimulated(w *wfformat.Workflow, paradigm string, timeScale float64, mode
 	tn := experiments.DefaultTunables()
 	tn.TimeScale = timeScale
 	tn.Scheduling = mode
+	tn.Tracer = tracer
+	tn.Monitor = monitor
+	tn.Logger = logger
 	m, err := experiments.RunWorkflow(context.Background(), spec, w, tn)
 	if err != nil {
 		fatal(err)
 	}
+	writeSpanOutputs(m.Trace, chromeTrace, spanLog)
 	fmt.Printf("workflow:      %s (%d tasks)\n", m.Workflow, m.Tasks)
 	fmt.Printf("paradigm:      %s\n", m.Paradigm)
 	fmt.Printf("schedule:      %s\n", mode)

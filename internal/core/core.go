@@ -15,11 +15,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"wfserverless/internal/cluster"
 	"wfserverless/internal/container"
 	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/serverless"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/translator"
@@ -106,6 +108,18 @@ type SessionConfig struct {
 	// SampleInterval is the telemetry period in nominal seconds; zero
 	// defaults to 1 (the paper's 1 Hz PCP sampling).
 	SampleInterval float64
+
+	// Tracer records spans across all three layers of the request path
+	// — workflow manager, serverless platform, and WfBench — into one
+	// trace per sampled run. Nil disables tracing.
+	Tracer *obs.Tracer
+	// Monitor receives live workflow progress (task states, breaker
+	// transitions, invocation latency) for the /metrics plane. Nil
+	// disables it.
+	Monitor *wfm.Monitor
+	// Logger receives the manager's structured event log. Nil silences
+	// it.
+	Logger *slog.Logger
 }
 
 // platformHandle abstracts over the two platform implementations.
@@ -180,6 +194,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		TaskTimeout:     cfg.TaskTimeout,
 		Breaker:         cfg.Breaker,
+		Tracer:          cfg.Tracer,
+		Monitor:         cfg.Monitor,
+		Logger:          cfg.Logger,
 	})
 	if err != nil {
 		s.Close()
@@ -207,6 +224,7 @@ func (s *Session) provision(pc PlatformConfig) (*platformHandle, error) {
 			PodOverheadCPU:    pc.PodOverheadCPU,
 			InputWait:         pc.InputWait,
 			InstantScaleUp:    pc.InstantScaleUp,
+			Tracer:            s.cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/translator"
 	"wfserverless/internal/wfbench"
@@ -45,6 +46,11 @@ type ResilienceConfig struct {
 	InputWait       float64
 	MaxParallel     int
 	Breaker         wfm.BreakerOptions
+
+	// TraceSample enables span collection for the runs: the fraction of
+	// workflow roots recorded (1 records everything, 0 disables). The
+	// collected trace rides on each measurement for the caller to export.
+	TraceSample float64
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -110,6 +116,9 @@ type ResilienceMeasurement struct {
 	Faults wfbench.FaultStats
 	// Breakers are the circuit transitions observed, in time order.
 	Breakers []wfm.BreakerTransition
+	// Trace carries the run's spans when TraceSample was set; nil
+	// otherwise.
+	Trace *wfm.Trace
 }
 
 // Resilience runs the flaky-endpoint experiment in both scheduling
@@ -136,7 +145,11 @@ func Resilience(ctx context.Context, cfg ResilienceConfig) ([]ResilienceMeasurem
 
 func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Workflow, mode wfm.Scheduling) (*ResilienceMeasurement, error) {
 	drive := sharedfs.NewMem()
-	bench, err := wfbench.New(wfbench.Config{Drive: drive, TimeScale: cfg.TimeScale})
+	var tracer *obs.Tracer
+	if cfg.TraceSample > 0 {
+		tracer = obs.NewTracer(obs.Options{SampleRatio: cfg.TraceSample})
+	}
+	bench, err := wfbench.New(wfbench.Config{Drive: drive, TimeScale: cfg.TimeScale, Tracer: tracer})
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +191,7 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		TaskTimeout:     cfg.TaskTimeout,
 		Breaker:         cfg.Breaker,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -206,6 +220,9 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 		m.Attempts += tr.Attempts
 	}
 	m.Retries = m.Attempts - m.Tasks
+	if tracer != nil {
+		m.Trace = wfm.TraceOf(res)
+	}
 	return m, nil
 }
 

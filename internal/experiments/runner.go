@@ -3,10 +3,12 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"wfserverless/internal/core"
 	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/wfformat"
 	"wfserverless/internal/wfm"
 )
@@ -64,6 +66,14 @@ type Tunables struct {
 	// InstantScaleUp is the autoscaler-ramp ablation knob: skip the
 	// KPA-style doubling and create every needed pod in one tick.
 	InstantScaleUp bool
+
+	// Observability plumbing, all optional. Tracer records spans across
+	// the manager, platform, and WfBench layers (the resulting trace
+	// rides on Measurement.Trace); Monitor exposes live run progress;
+	// Logger receives structured events from the manager's event loop.
+	Tracer  *obs.Tracer
+	Monitor *wfm.Monitor
+	Logger  *slog.Logger
 }
 
 // DefaultTunables returns the parameters used throughout EXPERIMENTS.md.
@@ -154,6 +164,9 @@ func SessionConfig(spec Spec, tn Tunables) (core.SessionConfig, error) {
 		RetryBackoffMax: tn.RetryBackoffMax,
 		TaskTimeout:     tn.TaskTimeout,
 		Breaker:         tn.Breaker,
+		Tracer:          tn.Tracer,
+		Monitor:         tn.Monitor,
+		Logger:          tn.Logger,
 	}, nil
 }
 
@@ -187,6 +200,10 @@ type Measurement struct {
 	Failures    int64
 	ScaleStalls int64
 	Wall        time.Duration
+
+	// Trace carries the run's spans when Tunables.Tracer was set; nil
+	// otherwise.
+	Trace *wfm.Trace `json:",omitempty"`
 }
 
 // gb converts bytes to GiB.
@@ -242,5 +259,8 @@ func RunWorkflow(ctx context.Context, spec Spec, w *wfformat.Workflow, tn Tunabl
 	m.MeanBusyCores = sampler.MeanOf(metrics.MetricCPUUser)
 	m.MeanMemGB = gb(sampler.MeanOf(metrics.MetricMemUsed))
 	m.MaxMemGB = gb(sampler.MaxOf(metrics.MetricMemUsed))
+	if tn.Tracer != nil {
+		m.Trace = wfm.TraceOf(res)
+	}
 	return m, nil
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
 	"wfserverless/internal/wfformat"
@@ -45,6 +46,11 @@ type ScaleConfig struct {
 	MaxParallel int
 	// Seed drives the random shape.
 	Seed int64
+	// TraceSample enables span collection: the fraction of workflow
+	// roots recorded (1 records everything, 0 disables). At 100k tasks
+	// a fully sampled run holds ~200k spans in memory; the overhead
+	// benchmark in internal/wfm quantifies the hot-path cost.
+	TraceSample float64
 }
 
 // ScaleResult reports one scale run.
@@ -58,6 +64,9 @@ type ScaleResult struct {
 	TasksPerSec  float64
 	PeakRSSBytes int64 // VmHWM after the run; 0 where /proc is absent
 	Completed    int
+	// Trace carries the run's spans when TraceSample was set; nil
+	// otherwise.
+	Trace *wfm.Trace
 }
 
 // Scale builds and executes the configured synthetic workflow.
@@ -77,10 +86,15 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tracer *obs.Tracer
+	if cfg.TraceSample > 0 {
+		tracer = obs.NewTracer(obs.Options{SampleRatio: cfg.TraceSample})
+	}
 	m, err := wfm.New(wfm.Options{
 		Drive:       drive,
 		MaxParallel: cfg.MaxParallel,
 		Scheduling:  cfg.Scheduling,
+		Tracer:      tracer,
 		// The stub answers in microseconds, so nominal paper seconds
 		// are compressed hard: the phase-mode inter-phase delay becomes
 		// 1ms instead of 1s (a 100k chain has thousands of levels), and
@@ -106,7 +120,7 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 			completed++
 		}
 	}
-	return &ScaleResult{
+	sr := &ScaleResult{
 		Tasks:        cfg.Tasks,
 		Edges:        edges,
 		Shape:        cfg.Shape,
@@ -116,7 +130,11 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 		TasksPerSec:  float64(cfg.Tasks) / run.Seconds(),
 		PeakRSSBytes: PeakRSS(),
 		Completed:    completed,
-	}, nil
+	}
+	if tracer != nil {
+		sr.Trace = wfm.TraceOf(res)
+	}
+	return sr, nil
 }
 
 // scaleStub is the loopback WfBench endpoint: decode, publish outputs

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	for _, v := range []float64{0.0001, 0.001, 0.001, 0.01, 0.1, 1} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(10 * time.Millisecond)
+	h.Observe(-1) // ignored
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if s := h.Sum(); s < 1.11 || s > 1.13 {
+		t.Fatalf("sum = %v, want ~1.1221", s)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.02 {
+		t.Fatalf("p50 = %v, want in (0, 0.02]", q)
+	}
+	if q := h.Quantile(1); q < 0.5 {
+		t.Fatalf("p100 = %v, want >= 0.5", q)
+	}
+	if h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Fatal("quantiles not monotonic")
+	}
+}
+
+func TestHistogramBucketMapping(t *testing.T) {
+	if bucketOf(0) != 0 || bucketOf(histFirst) != 0 {
+		t.Fatal("values at or below the first bound belong in bucket 0")
+	}
+	if bucketOf(histFirst*2+1e-12) != 2 {
+		t.Fatalf("bucketOf just above bound 1 = %d, want 2", bucketOf(histFirst*2+1e-12))
+	}
+	if bucketOf(1e9) != histBuckets {
+		t.Fatal("huge values must land in the overflow bucket")
+	}
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketOf(histBound(i)); got != i {
+			t.Fatalf("bucketOf(bound %d) = %d, boundaries must be inclusive", i, got)
+		}
+	}
+}
+
+func TestHistogramPromExposition(t *testing.T) {
+	var h Histogram
+	h.Observe(0.002)
+	h.Observe(0.004)
+	h.Observe(1e6) // overflow
+
+	var buf bytes.Buffer
+	if err := h.WriteProm(&buf, "test_seconds", "test histogram"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE test_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `test_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "test_seconds_count 3") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+
+	// Bucket counts must be cumulative and non-decreasing.
+	var last uint64
+	lines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "test_seconds_bucket") {
+			continue
+		}
+		lines++
+		v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts decreased: %q after %d", line, last)
+		}
+		last = v
+	}
+	if lines != histBuckets+1 {
+		t.Fatalf("bucket lines = %d, want %d", lines, histBuckets+1)
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	var empty Series
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty series percentile != 0")
+	}
+	s := &Series{}
+	for i := 100; i >= 1; i-- { // reversed: Percentile must sort a copy
+		s.Values = append(s.Values, float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+		{-5, 1}, {200, 100},
+	}
+	for _, tc := range cases {
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// The receiver's order is untouched.
+	if s.Values[0] != 100 {
+		t.Fatal("Percentile sorted the series in place")
+	}
+
+	single := &Series{Values: []float64{7}}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := single.Percentile(p); got != 7 {
+			t.Fatalf("single-sample Percentile(%v) = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Record is the serialized form of a finished span: what the exporters
+// write and the analysis tooling reads. Times are relative to the
+// earliest span start in the batch (StartMS) so records are stable
+// across machines and trivially plottable.
+type Record struct {
+	Name    string         `json:"name"`
+	Layer   string         `json:"layer"`
+	TraceID string         `json:"traceId"`
+	SpanID  string         `json:"spanId"`
+	Parent  string         `json:"parentId,omitempty"`
+	StartMS float64        `json:"startMs"`
+	DurMS   float64        `json:"durMs"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// RecordsOf converts collected spans into records, sorted by start
+// time. The zero instant is the earliest span start across the batch.
+func RecordsOf(spans []Span) []Record {
+	if len(spans) == 0 {
+		return nil
+	}
+	epoch := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	recs := make([]Record, len(spans))
+	for i, s := range spans {
+		r := Record{
+			Name:    s.Name,
+			Layer:   s.Layer,
+			TraceID: s.Trace.String(),
+			SpanID:  s.ID.String(),
+			StartMS: round3(float64(s.Start.Sub(epoch)) / float64(time.Millisecond)),
+			DurMS:   round3(float64(s.End.Sub(s.Start)) / float64(time.Millisecond)),
+			Attrs:   s.Attrs(),
+		}
+		if !s.Parent.IsZero() {
+			r.Parent = s.Parent.String()
+		}
+		recs[i] = r
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].StartMS < recs[j].StartMS })
+	return recs
+}
+
+// Fixed Chrome-trace process IDs, one per architectural layer, so the
+// trace viewer renders the request path top-down in call order.
+var layerPIDs = map[string]int{LayerWFM: 1, LayerPlatform: 2, LayerWfbench: 3}
+
+func layerPID(layer string) int {
+	if pid, ok := layerPIDs[layer]; ok {
+		return pid
+	}
+	return 9
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// We emit only "X" (complete) duration events plus "M" process-name
+// metadata; ts/dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes records as Chrome trace-event JSON (object
+// form), loadable in Perfetto or chrome://tracing. Each layer becomes a
+// named process; within a layer, spans are packed into lanes (tids) so
+// overlapping siblings render side by side while children share their
+// parent's lane and nest under it.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	for layer, pid := range layerPIDs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": layer},
+		})
+	}
+	sort.Slice(f.TraceEvents, func(i, j int) bool { return f.TraceEvents[i].PID < f.TraceEvents[j].PID })
+
+	lanes := assignLanes(recs)
+	for i, r := range recs {
+		args := map[string]any{"spanId": r.SpanID}
+		if r.Parent != "" {
+			args["parentId"] = r.Parent
+		}
+		for k, v := range r.Attrs {
+			args[k] = v
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name:  r.Name,
+			Phase: "X",
+			Cat:   r.Layer,
+			PID:   layerPID(r.Layer),
+			TID:   lanes[i],
+			TS:    round3(r.StartMS * 1000),
+			Dur:   round3(r.DurMS * 1000),
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// assignLanes gives each record a tid within its layer's process. The
+// trace-event format nests same-tid events only when their intervals
+// nest, so a lane may hold a span iff the lane's innermost still-open
+// span is an ancestor (the child then renders nested under it).
+// Overlapping siblings therefore spill into separate lanes instead of
+// rendering on top of each other; a greedy first-fit keeps the lane
+// count at the true concurrency of each layer.
+func assignLanes(recs []Record) []int {
+	type openSpan struct {
+		id  string
+		end float64
+	}
+	laneOf := make([]int, len(recs))
+	bySpan := make(map[string]int, len(recs)) // spanID -> record index
+	for i, r := range recs {
+		bySpan[r.SpanID] = i
+	}
+	// isAncestor walks the parent chain of record i looking for spanID.
+	isAncestor := func(spanID string, i int) bool {
+		for hops := 0; hops < len(recs); hops++ {
+			p := recs[i].Parent
+			if p == "" {
+				return false
+			}
+			if p == spanID {
+				return true
+			}
+			pi, ok := bySpan[p]
+			if !ok {
+				return false
+			}
+			i = pi
+		}
+		return false
+	}
+	// Per layer, each lane is a stack of open spans; records are
+	// start-sorted, so expired spans pop off as the sweep advances.
+	layerLanes := map[string][][]openSpan{}
+	for i, r := range recs {
+		ls := layerLanes[r.Layer]
+		placed := false
+		for li := range ls {
+			stack := ls[li]
+			for len(stack) > 0 && stack[len(stack)-1].end <= r.StartMS {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 || isAncestor(stack[len(stack)-1].id, i) {
+				ls[li] = append(stack, openSpan{id: r.SpanID, end: r.StartMS + r.DurMS})
+				laneOf[i] = li + 1
+				placed = true
+				break
+			}
+			ls[li] = stack
+		}
+		if !placed {
+			ls = append(ls, []openSpan{{id: r.SpanID, end: r.StartMS + r.DurMS}})
+			laneOf[i] = len(ls)
+		}
+		layerLanes[r.Layer] = ls
+	}
+	return laneOf
+}
+
+// ParseChromeTrace reads back a trace written by WriteChromeTrace,
+// reconstructing records from the X events (metadata events are
+// skipped). It tolerates extra keys, so files other tools have touched
+// still load.
+func ParseChromeTrace(r io.Reader) ([]Record, error) {
+	var f struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Cat   string         `json:"cat"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	var recs []Record
+	for _, ev := range f.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		rec := Record{
+			Name:    ev.Name,
+			Layer:   ev.Cat,
+			StartMS: round3(ev.TS / 1000),
+			DurMS:   round3(ev.Dur / 1000),
+		}
+		attrs := map[string]any{}
+		for k, v := range ev.Args {
+			switch k {
+			case "spanId":
+				rec.SpanID, _ = v.(string)
+			case "parentId":
+				rec.Parent, _ = v.(string)
+			default:
+				attrs[k] = v
+			}
+		}
+		if len(attrs) > 0 {
+			rec.Attrs = attrs
+		}
+		recs = append(recs, rec)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].StartMS < recs[j].StartMS })
+	return recs, nil
+}
+
+// WriteJSONL writes one record per line — the grep/jq-friendly span
+// log.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a span log written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var recs []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return recs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("span log: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// CriticalPath returns the longest span chain of the batch: starting
+// from the latest-ending root, it descends into the latest-ending child
+// at every level, yielding the root-to-leaf pole that explains the
+// run's makespan ("the makespan is set by this task, whose time went to
+// this attempt, which spent it in the pod executing this CPU phase").
+func CriticalPath(recs []Record) []Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	end := func(r Record) float64 { return r.StartMS + r.DurMS }
+	children := make(map[string][]int, len(recs))
+	bySpan := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		if r.SpanID != "" {
+			bySpan[r.SpanID] = struct{}{}
+		}
+	}
+	roots := []int{}
+	for i, r := range recs {
+		if _, ok := bySpan[r.Parent]; r.Parent != "" && ok {
+			children[r.Parent] = append(children[r.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	latest := func(idxs []int) int {
+		best := idxs[0]
+		for _, i := range idxs[1:] {
+			if end(recs[i]) > end(recs[best]) {
+				best = i
+			}
+		}
+		return best
+	}
+	var start int
+	if len(roots) > 0 {
+		start = latest(roots)
+	} else {
+		// Only cycles: no parentless span exists. Fall back to the
+		// latest-ending span; the seen guard below terminates the walk.
+		all := make([]int, len(recs))
+		for i := range recs {
+			all[i] = i
+		}
+		start = latest(all)
+	}
+	var chain []Record
+	seen := map[int]bool{}
+	for i := start; !seen[i]; {
+		seen[i] = true
+		chain = append(chain, recs[i])
+		kids := children[recs[i].SpanID]
+		if recs[i].SpanID == "" || len(kids) == 0 {
+			break
+		}
+		i = latest(kids)
+	}
+	return chain
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildRun fabricates the canonical three-layer span tree of one
+// invocation: workflow -> task -> invoke -> {queue, coldstart, execute
+// -> cpu phase}.
+func buildRun(t *testing.T) []Span {
+	t.Helper()
+	tr := NewTracer(Options{SampleRatio: 1})
+	base := time.Now()
+
+	root := tr.StartRoot("workflow:blast", LayerWFM)
+	root.SetStart(base)
+
+	task := tr.StartChildOf(root, "task:blastall_0")
+	task.SetStart(base.Add(1 * time.Millisecond))
+	task.SetAttr("category", "blastall")
+	task.SetFloat("queue_ms", 1.0)
+
+	inv := tr.StartChildOf(task, "invoke")
+	inv.SetStart(base.Add(2 * time.Millisecond))
+	inv.SetInt("attempt", 1)
+
+	invCtx := inv.Context()
+	queue := tr.StartChild(invCtx, "queue", LayerPlatform)
+	queue.SetStart(base.Add(3 * time.Millisecond))
+	queue.FinishAt(base.Add(5 * time.Millisecond))
+
+	cold := tr.StartChild(invCtx, "coldstart", LayerPlatform)
+	cold.SetStart(base.Add(5 * time.Millisecond))
+	cold.SetAttr("pod", "blast-0")
+	cold.FinishAt(base.Add(9 * time.Millisecond))
+
+	exec := tr.StartChild(invCtx, "execute", LayerPlatform)
+	exec.SetStart(base.Add(9 * time.Millisecond))
+	execCtx := exec.Context()
+
+	cpu := tr.StartChild(execCtx, "cpu", LayerWfbench)
+	cpu.SetStart(base.Add(10 * time.Millisecond))
+	cpu.FinishAt(base.Add(18 * time.Millisecond))
+
+	exec.FinishAt(base.Add(19 * time.Millisecond))
+	inv.FinishAt(base.Add(20 * time.Millisecond))
+	task.FinishAt(base.Add(20 * time.Millisecond))
+	root.FinishAt(base.Add(21 * time.Millisecond))
+	return tr.Take()
+}
+
+func TestRecordsOf(t *testing.T) {
+	spans := buildRun(t)
+	recs := RecordsOf(spans)
+	if len(recs) != len(spans) {
+		t.Fatalf("got %d records for %d spans", len(recs), len(spans))
+	}
+	if recs[0].Name != "workflow:blast" || recs[0].StartMS != 0 {
+		t.Fatalf("first record = %+v, want workflow at t=0", recs[0])
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].StartMS < recs[i-1].StartMS {
+			t.Fatal("records not sorted by start")
+		}
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["cpu"].Layer != LayerWfbench {
+		t.Fatalf("cpu layer = %q", byName["cpu"].Layer)
+	}
+	if byName["cpu"].Parent != byName["execute"].SpanID {
+		t.Fatal("cpu not parented to execute across the layer hop")
+	}
+	if byName["task:blastall_0"].Attrs["category"] != "blastall" {
+		t.Fatalf("task attrs = %v", byName["task:blastall_0"].Attrs)
+	}
+	if RecordsOf(nil) != nil {
+		t.Fatal("RecordsOf(nil) != nil")
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	recs := RecordsOf(buildRun(t))
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file must be valid Chrome trace-event JSON: an object with a
+	// traceEvents array, every event carrying name/ph/pid/tid/ts.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("not a JSON object: %v", err)
+	}
+	if _, ok := raw["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents key")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw["traceEvents"], &events); err != nil {
+		t.Fatal(err)
+	}
+	metas, completes := 0, 0
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			completes++
+			for _, key := range []string{"name", "pid", "tid", "ts"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("X event missing %q: %v", key, ev)
+				}
+			}
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if metas != 3 {
+		t.Fatalf("process_name metadata events = %d, want 3", metas)
+	}
+	if completes != len(recs) {
+		t.Fatalf("X events = %d, want %d", completes, len(recs))
+	}
+
+	back, err := ParseChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("parsed %d records, want %d", len(back), len(recs))
+	}
+	orig := map[string]Record{}
+	for _, r := range recs {
+		orig[r.SpanID] = r
+	}
+	for _, r := range back {
+		o, ok := orig[r.SpanID]
+		if !ok {
+			t.Fatalf("parsed unknown span %q", r.SpanID)
+		}
+		if r.Name != o.Name || r.Layer != o.Layer || r.Parent != o.Parent {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r, o)
+		}
+		if r.StartMS != o.StartMS || r.DurMS != o.DurMS {
+			t.Fatalf("round trip times: %+v vs %+v", r, o)
+		}
+	}
+}
+
+func TestChromeLanesNestAndSeparate(t *testing.T) {
+	// Two overlapping sibling tasks under one root must land in
+	// different lanes; each task's child must share its parent's lane.
+	recs := []Record{
+		{Name: "root", Layer: LayerWFM, SpanID: "r", StartMS: 0, DurMS: 10},
+		{Name: "t1", Layer: LayerWFM, SpanID: "a", Parent: "r", StartMS: 1, DurMS: 8},
+		{Name: "t2", Layer: LayerWFM, SpanID: "b", Parent: "r", StartMS: 1, DurMS: 8},
+		{Name: "t1-invoke", Layer: LayerWFM, SpanID: "ai", Parent: "a", StartMS: 2, DurMS: 6},
+	}
+	lanes := assignLanes(recs)
+	if lanes[1] != lanes[0] {
+		t.Fatalf("t1 lane %d, root lane %d: child must inherit parent lane", lanes[1], lanes[0])
+	}
+	if lanes[2] == lanes[1] {
+		t.Fatal("overlapping siblings share a lane — they would render on top of each other")
+	}
+	if lanes[3] != lanes[1] {
+		t.Fatal("grandchild must inherit its parent's lane")
+	}
+
+	// A cross-layer child starts a lane in its own layer.
+	recs = append(recs, Record{Name: "q", Layer: LayerPlatform, SpanID: "q", Parent: "ai", StartMS: 3, DurMS: 2})
+	lanes = assignLanes(recs)
+	if lanes[4] == 0 {
+		t.Fatal("cross-layer child got no lane")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := RecordsOf(buildRun(t))
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(recs) {
+		t.Fatalf("JSONL lines = %d, want %d", n, len(recs))
+	}
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(back), len(recs))
+	}
+	for i := range back {
+		if back[i].Name != recs[i].Name || back[i].SpanID != recs[i].SpanID ||
+			back[i].StartMS != recs[i].StartMS || back[i].DurMS != recs[i].DurMS {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	recs := RecordsOf(buildRun(t))
+	path := CriticalPath(recs)
+	var names []string
+	for _, r := range path {
+		names = append(names, r.Name)
+	}
+	// The descent through latest-ending children crosses all three
+	// layers: workflow -> task -> invoke -> execute -> cpu.
+	wantRun := []string{"workflow:blast", "task:blastall_0", "invoke", "execute", "cpu"}
+	if len(names) != len(wantRun) {
+		t.Fatalf("critical path = %v, want %v", names, wantRun)
+	}
+	for i := range wantRun {
+		if names[i] != wantRun[i] {
+			t.Fatalf("critical path = %v, want %v", names, wantRun)
+		}
+	}
+
+	// A synthetic forest where the last-finishing span is a deep leaf.
+	recs = []Record{
+		{Name: "root", SpanID: "r", StartMS: 0, DurMS: 5},
+		{Name: "a", SpanID: "a", Parent: "r", StartMS: 1, DurMS: 2},
+		{Name: "b", SpanID: "b", Parent: "r", StartMS: 1, DurMS: 9},
+		{Name: "b-leaf", SpanID: "bl", Parent: "b", StartMS: 4, DurMS: 8},
+	}
+	path = CriticalPath(recs)
+	names = nil
+	for _, r := range path {
+		names = append(names, r.Name)
+	}
+	want := []string{"root", "b", "b-leaf"}
+	if len(names) != len(want) {
+		t.Fatalf("critical path = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("critical path = %v, want %v", names, want)
+		}
+	}
+
+	// Cycle in parent links must terminate, not hang.
+	recs = []Record{
+		{Name: "x", SpanID: "x", Parent: "y", StartMS: 0, DurMS: 5},
+		{Name: "y", SpanID: "y", Parent: "x", StartMS: 1, DurMS: 5},
+	}
+	if got := CriticalPath(recs); len(got) == 0 || len(got) > 2 {
+		t.Fatalf("cyclic critical path length = %d", len(got))
+	}
+
+	if CriticalPath(nil) != nil {
+		t.Fatal("CriticalPath(nil) != nil")
+	}
+}

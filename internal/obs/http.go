@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// TelemetryMux returns an http.ServeMux wired with the standard
+// telemetry surface shared by every long-running binary in this repo:
+//
+//	/healthz            liveness probe, answers 200 "ok"
+//	/metrics            the provided handler (Prometheus text exposition)
+//	/debug/pprof/...    the net/http/pprof profiling suite
+//
+// A nil metrics handler serves only health and pprof.
+func TelemetryMux(metrics http.HandlerFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	if metrics != nil {
+		mux.HandleFunc("/metrics", metrics)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

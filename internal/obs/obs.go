@@ -1,0 +1,178 @@
+// Package obs is the observability substrate of the reproduction: a
+// zero-dependency distributed-tracing layer threaded through the whole
+// request path — workflow manager, serverless platform, and WfBench
+// handler — plus the serializable span records the exporters and the
+// analysis tooling consume.
+//
+// The paper's methodology is observability (1 Hz Performance Co-Pilot
+// samples explain *what* a run cost); this package explains *where* the
+// time went inside an invocation: queueing behind MaxParallel, ingress
+// queue wait, pod cold start, retries, breaker rejections, and the
+// benchmark's own CPU/memory/IO phases. Propagation is W3C
+// traceparent-compatible, so the same span tree assembles whether the
+// three layers share a process (the in-process platform) or talk over
+// real HTTP.
+//
+// The design is allocation-light by construction: a disabled or
+// unsampled path costs one nil check per operation — every method on a
+// nil *Tracer or nil *Span is a no-op — and the sampled path pools span
+// objects and stores finished spans by value in a run-scoped collector.
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// Canonical layer names. They become the "process" rows of the Chrome
+// trace view, one per architectural layer of the request path.
+const (
+	LayerWFM      = "wfm"      // workflow manager: run roots, tasks, invocation attempts
+	LayerPlatform = "platform" // serverless platform: queue wait, cold start, pod execution
+	LayerWfbench  = "wfbench"  // benchmark handler: inputs/memory/cpu/outputs phases
+)
+
+// TraceID is a 128-bit trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is a 64-bit span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated identity of a span: what crosses
+// process boundaries in the traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the W3C sampled flag: downstream layers record child
+	// spans only when the root made the sampling decision.
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a span (both IDs
+// non-zero, per the W3C spec).
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value:
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+func (sc SpanContext) Traceparent() string {
+	return string(sc.AppendTraceparent(make([]byte, 0, 55)))
+}
+
+// AppendTraceparent appends the header value to dst — the allocation-free
+// form for callers that reuse a scratch buffer.
+func (sc SpanContext) AppendTraceparent(dst []byte) []byte {
+	dst = append(dst, '0', '0', '-')
+	dst = hex.AppendEncode(dst, sc.TraceID[:])
+	dst = append(dst, '-')
+	dst = hex.AppendEncode(dst, sc.SpanID[:])
+	flags := byte('0')
+	if sc.Sampled {
+		flags = '1'
+	}
+	return append(dst, '-', '0', flags)
+}
+
+// hexNibble decodes one lowercase hex digit. The W3C spec requires
+// lowercase; uppercase input is rejected, unlike encoding/hex.
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+func hexField(dst []byte, s string) bool {
+	for i := 0; i < len(dst); i++ {
+		hi, ok1 := hexNibble(s[2*i])
+		lo, ok2 := hexNibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// version 00 exactly and future versions (01–fe) that extend the header
+// after a dash, per the spec's forward-compatibility rule; version ff,
+// uppercase hex, malformed layouts, and all-zero trace or span IDs are
+// rejected.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// Layout: 2 (version) + 1 + 32 (trace-id) + 1 + 16 (parent-id) + 1 + 2 (flags) = 55.
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	hi, ok1 := hexNibble(s[0])
+	lo, ok2 := hexNibble(s[1])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	version := hi<<4 | lo
+	if version == 0xff {
+		return SpanContext{}, false
+	}
+	if version == 0 && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if !hexField(sc.TraceID[:], s[3:35]) || !hexField(sc.SpanID[:], s[36:52]) {
+		return SpanContext{}, false
+	}
+	fhi, ok1 := hexNibble(s[53])
+	flo, ok2 := hexNibble(s[54])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = (fhi<<4|flo)&0x01 != 0
+	return sc, true
+}
+
+// newTraceID returns a random non-zero trace ID. math/rand/v2's global
+// generator is goroutine-safe and seeded per process; cryptographic
+// uniqueness is not required for per-run traces.
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			t[i] = byte(a >> (8 * i))
+			t[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return t
+}
+
+// newSpanID returns a random non-zero span ID.
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		a := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			s[i] = byte(a >> (8 * i))
+		}
+	}
+	return s
+}

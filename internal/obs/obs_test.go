@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Sampled: true}
+	copy(sc.TraceID[:], []byte{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36})
+	copy(sc.SpanID[:], []byte{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7})
+	h := sc.Traceparent()
+	want := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if h != want {
+		t.Fatalf("Traceparent() = %q, want %q", h, want)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("ParseTraceparent(%q) = %+v, %v; want %+v, true", h, got, ok, sc)
+	}
+
+	sc.Sampled = false
+	h = sc.Traceparent()
+	if !strings.HasSuffix(h, "-00") {
+		t.Fatalf("unsampled flags = %q, want suffix -00", h)
+	}
+	got, ok = ParseTraceparent(h)
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled header parsed as %+v, %v", got, ok)
+	}
+}
+
+func TestParseTraceparentEdgeCases(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"empty", "", false},
+		{"truncated", valid[:54], false},
+		{"garbage", "not-a-traceparent-header-at-all-but-long-enough-to-scan", false},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false},
+		{"uppercase span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01", false},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"bad version hex", "0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"missing dash 1", "00+4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"missing dash 2", "00-4bf92f3577b34da6a3ce929d0e0e4736+00f067aa0ba902b7-01", false},
+		{"missing dash 3", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7+01", false},
+		{"bad flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", false},
+		{"flags 00 unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},
+		{"extra flag bits set", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-ff", true},
+		{"v00 with trailing data", valid + "-extra", false},
+		{"future version with suffix", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-the-future-will-be-like", true},
+		{"future version bad suffix", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01.x", false},
+	}
+	for _, tc := range cases {
+		sc, ok := ParseTraceparent(tc.in)
+		if ok != tc.ok {
+			t.Errorf("%s: ParseTraceparent(%q) ok = %v, want %v", tc.name, tc.in, ok, tc.ok)
+		}
+		if ok && !sc.Valid() {
+			t.Errorf("%s: accepted header yielded invalid context %+v", tc.name, sc)
+		}
+	}
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer(Options{SampleRatio: 1})
+	root := tr.StartRoot("workflow", LayerWFM)
+	if root == nil {
+		t.Fatal("StartRoot returned nil at SampleRatio 1")
+	}
+	rootCtx := root.Context()
+	if !rootCtx.Valid() || !rootCtx.Sampled {
+		t.Fatalf("root context %+v not valid+sampled", rootCtx)
+	}
+
+	task := tr.StartChildOf(root, "task:t1")
+	task.SetAttr("category", "blastall")
+	task.SetInt("attempts", 2)
+	taskCtx := task.Context()
+	if taskCtx.TraceID != rootCtx.TraceID {
+		t.Fatal("child did not inherit trace ID")
+	}
+
+	// Simulate the header hop into another layer.
+	remote, ok := ParseTraceparent(taskCtx.Traceparent())
+	if !ok {
+		t.Fatal("round-trip through header failed")
+	}
+	exec := tr.StartChild(remote, "execute", LayerPlatform)
+	if exec.Context().TraceID != rootCtx.TraceID {
+		t.Fatal("remote child did not inherit trace ID")
+	}
+	exec.Finish()
+	task.Finish()
+	root.Finish()
+
+	spans := tr.Take()
+	if len(spans) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["task:t1"].Parent != rootCtx.SpanID {
+		t.Fatal("task span not parented to root")
+	}
+	if byName["execute"].Parent != taskCtx.SpanID {
+		t.Fatal("platform span not parented to task span")
+	}
+	if byName["execute"].Layer != LayerPlatform {
+		t.Fatalf("execute layer = %q", byName["execute"].Layer)
+	}
+	ts := byName["task:t1"]
+	if v, ok := ts.AttrString("category"); !ok || v != "blastall" {
+		t.Fatalf("category attr = %q, %v", v, ok)
+	}
+	if v, ok := ts.AttrFloat("attempts"); !ok || v != 2 {
+		t.Fatalf("attempts attr = %v, %v", v, ok)
+	}
+	if got := tr.Take(); len(got) != 0 {
+		t.Fatalf("second Take returned %d spans, want 0", len(got))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	root := tr.StartRoot("x", LayerWFM)
+	if root != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// All of these must be no-ops, not panics.
+	root.SetAttr("k", "v")
+	root.SetFloat("f", 1)
+	root.SetInt("i", 1)
+	root.SetStart(time.Now())
+	root.Finish()
+	root.FinishAt(time.Now())
+	if sc := root.Context(); sc.Valid() || sc.Sampled {
+		t.Fatalf("nil span context = %+v", sc)
+	}
+	if tr.StartChildOf(nil, "y") != nil {
+		t.Fatal("nil parent produced a child")
+	}
+	if tr.Take() != nil {
+		t.Fatal("nil tracer Take != nil")
+	}
+
+	live := NewTracer(Options{SampleRatio: 1})
+	if live.StartChildOf(nil, "y") != nil {
+		t.Fatal("child of nil parent must be nil")
+	}
+	if live.StartChild(SpanContext{}, "y", LayerWFM) != nil {
+		t.Fatal("child of invalid context must be nil")
+	}
+}
+
+func TestSamplingRatio(t *testing.T) {
+	tr := NewTracer(Options{SampleRatio: 0.25})
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if s := tr.StartRoot("run", LayerWFM); s != nil {
+			sampled++
+			s.Finish()
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("deterministic 1-in-4 sampling kept %d of 100 roots", sampled)
+	}
+
+	off := NewTracer(Options{})
+	if off.StartRoot("run", LayerWFM) != nil {
+		t.Fatal("SampleRatio 0 still sampled")
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	tr := NewTracer(Options{SampleRatio: 1})
+	s := tr.StartRoot("run", LayerWFM)
+	for i := 0; i < maxAttrs+4; i++ {
+		s.SetInt("k", i)
+	}
+	if s.nattrs != maxAttrs {
+		t.Fatalf("nattrs = %d, want %d", s.nattrs, maxAttrs)
+	}
+	s.Finish()
+}
+
+func TestContextPropagation(t *testing.T) {
+	sc := SpanContext{Sampled: true}
+	sc.TraceID[0], sc.SpanID[0] = 1, 2
+	ctx := ContextWithSpan(context.Background(), sc)
+	if got := SpanFromContext(ctx); got != sc {
+		t.Fatalf("SpanFromContext = %+v, want %+v", got, sc)
+	}
+	if got := SpanFromContext(context.Background()); got.Valid() {
+		t.Fatalf("empty context yielded %+v", got)
+	}
+	// Invalid contexts are not stored.
+	if ctx2 := ContextWithSpan(context.Background(), SpanContext{}); SpanFromContext(ctx2).Valid() {
+		t.Fatal("invalid context was stored")
+	}
+}
+
+// The unsampled path is the PR-3 hot path: it must not allocate.
+func TestUnsampledPathZeroAlloc(t *testing.T) {
+	var nilTracer *Tracer
+	off := NewTracer(Options{})
+	quarter := NewTracer(Options{SampleRatio: 0.25})
+	quarter.StartRoot("warm", LayerWFM).Finish() // burn the sampled slot
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"nil tracer root", func() {
+			s := nilTracer.StartRoot("run", LayerWFM)
+			s.SetAttr("k", "v")
+			s.Finish()
+		}},
+		{"ratio-0 tracer root", func() {
+			s := off.StartRoot("run", LayerWFM)
+			s.SetInt("k", 1)
+			s.Finish()
+		}},
+		{"nil span child chain", func() {
+			var parent *Span
+			c := quarter.StartChildOf(parent, "task")
+			c.SetFloat("queue_ms", 1.5)
+			c.Finish()
+		}},
+		{"unsampled remote child", func() {
+			c := quarter.StartChild(SpanContext{}, "execute", LayerPlatform)
+			c.Finish()
+		}},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.f); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// Sampled spans must reuse pooled objects: steady-state span churn
+// allocates only the collector slice growth, not a Span per operation.
+func TestSpanPoolReuse(t *testing.T) {
+	tr := NewTracer(Options{SampleRatio: 1})
+	// Pre-grow the collector, then measure churn with Take between
+	// rounds so the slice append doesn't dominate.
+	for i := 0; i < 64; i++ {
+		tr.StartRoot("warm", LayerWFM).Finish()
+	}
+	tr.Take()
+	n := testing.AllocsPerRun(100, func() {
+		s := tr.StartRoot("run", LayerWFM)
+		s.SetAttr("k", "v")
+		s.Finish()
+		tr.Take()
+	})
+	// One alloc for the fresh collector slice per Take; the spans
+	// themselves come from the pool. Allow a little pool-miss slack.
+	if n > 2 {
+		t.Fatalf("sampled steady-state churn = %v allocs/op, want <= 2", n)
+	}
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span annotation. Values are either strings or numbers;
+// the two-field layout avoids boxing through interface{} on the hot
+// path.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Value renders the attribute for a map[string]any export.
+func (a Attr) Value() any {
+	if a.IsNum {
+		return a.Num
+	}
+	return a.Str
+}
+
+// maxAttrs bounds per-span annotations so a Span stays a fixed-size
+// value (poolable, copyable without heap growth). The instrumentation
+// sites use at most six.
+const maxAttrs = 8
+
+// Span is one timed operation in a trace. Spans are created by a
+// Tracer, annotated, and closed with Finish, which hands the completed
+// record to the tracer's collector and recycles the object. All methods
+// are safe on a nil receiver — a nil *Span is the "not sampled" span,
+// and the entire instrumented path degrades to pointer checks.
+//
+// A Span is owned by one goroutine; concurrent SetAttr/Finish on the
+// same span is a caller bug (as in every mainstream tracing API).
+type Span struct {
+	Name   string
+	Layer  string
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Start  time.Time
+	End    time.Time
+
+	attrs  [maxAttrs]Attr
+	nattrs int
+	tracer *Tracer
+}
+
+// Context returns the propagatable identity of the span. On a nil span
+// it returns the zero (invalid, unsampled) context, so downstream
+// layers see a coherent "don't record" signal.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.Trace, SpanID: s.ID, Sampled: true}
+}
+
+// SetAttr attaches a string annotation. Attrs beyond the fixed capacity
+// are dropped rather than allocated.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.nattrs == maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Str: value}
+	s.nattrs++
+}
+
+// SetFloat attaches a numeric annotation.
+func (s *Span) SetFloat(key string, value float64) {
+	if s == nil || s.nattrs == maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Num: value, IsNum: true}
+	s.nattrs++
+}
+
+// SetInt attaches an integer annotation.
+func (s *Span) SetInt(key string, value int) { s.SetFloat(key, float64(value)) }
+
+// SetStart backdates the span's start — used when the instant of
+// interest (e.g. a task becoming ready) precedes span creation.
+func (s *Span) SetStart(t time.Time) {
+	if s != nil {
+		s.Start = t
+	}
+}
+
+// Finish stamps the end time, delivers the span to its tracer's
+// collector, and recycles the object. The *Span must not be used after
+// Finish; capture Context() first if the identity is still needed.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.End = time.Now()
+	s.finishAt(s.End)
+}
+
+// FinishAt is Finish with an explicit end time, for spans reconstructed
+// from measured phases rather than closed inline.
+func (s *Span) FinishAt(t time.Time) {
+	if s == nil {
+		return
+	}
+	s.finishAt(t)
+}
+
+func (s *Span) finishAt(t time.Time) {
+	s.End = t
+	tr := s.tracer
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, *s)
+	tr.mu.Unlock()
+	*s = Span{}
+	spanPool.Put(s)
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// Options configures a Tracer.
+type Options struct {
+	// SampleRatio is the fraction of root spans recorded, in [0, 1].
+	// 0 disables tracing entirely (StartRoot returns nil and the whole
+	// downstream path is nil-span no-ops); 1 records every run. The
+	// decision is made once per root and inherited by all descendants
+	// via the sampled flag, so a trace is always complete or absent.
+	SampleRatio float64
+}
+
+// Tracer creates spans and collects the finished ones for a run. The
+// collector is a single mutex-guarded slice: finishing a span is one
+// short critical section (append of a value), cheap enough for the
+// PR-3 drain path; creation touches only a sync.Pool and atomics.
+type Tracer struct {
+	sampleEvery uint64 // record 1 of every N roots; 0 = never
+	roots       atomic.Uint64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer returns a tracer with the given options.
+func NewTracer(opts Options) *Tracer {
+	t := &Tracer{}
+	switch {
+	case opts.SampleRatio >= 1:
+		t.sampleEvery = 1
+	case opts.SampleRatio > 0:
+		// Deterministic 1-in-N sampling: cheap, and reproducible runs
+		// stay reproducible (no RNG draw per root).
+		t.sampleEvery = uint64(1/opts.SampleRatio + 0.5)
+	}
+	return t
+}
+
+// StartRoot opens a new trace. Returns nil when the tracer is nil or
+// this root loses the sampling draw — and a nil root makes every
+// descendant span nil, so an unsampled run executes the identical
+// instruction path as tracing-off.
+func (t *Tracer) StartRoot(name, layer string) *Span {
+	if t == nil || t.sampleEvery == 0 {
+		return nil
+	}
+	if t.sampleEvery > 1 && (t.roots.Add(1)-1)%t.sampleEvery != 0 {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	s.Name, s.Layer = name, layer
+	s.Trace, s.ID = newTraceID(), newSpanID()
+	s.Start = time.Now()
+	s.tracer = t
+	return s
+}
+
+// StartChild opens a span under a propagated parent context, e.g. one
+// extracted from a traceparent header in another layer. Returns nil if
+// the tracer is nil or the parent is invalid/unsampled.
+func (t *Tracer) StartChild(parent SpanContext, name, layer string) *Span {
+	if t == nil || !parent.Sampled || !parent.Valid() {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	s.Name, s.Layer = name, layer
+	s.Trace, s.ID, s.Parent = parent.TraceID, newSpanID(), parent.SpanID
+	s.Start = time.Now()
+	s.tracer = t
+	return s
+}
+
+// StartChildOf opens a span under an in-process parent span. A nil
+// parent yields a nil child.
+func (t *Tracer) StartChildOf(parent *Span, name string) *Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	s.Name, s.Layer = name, parent.Layer
+	s.Trace, s.ID, s.Parent = parent.Trace, newSpanID(), parent.ID
+	s.Start = time.Now()
+	s.tracer = t
+	return s
+}
+
+// Take returns all spans finished so far and resets the collector, in
+// finish order. Call at the end of a run (or periodically for long
+// services) to drain without stopping collection.
+func (t *Tracer) Take() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	return spans
+}
+
+// AttrString returns the named string attribute of a collected span.
+func (s *Span) AttrString(key string) (string, bool) {
+	for i := 0; i < s.nattrs; i++ {
+		if s.attrs[i].Key == key && !s.attrs[i].IsNum {
+			return s.attrs[i].Str, true
+		}
+	}
+	return "", false
+}
+
+// AttrFloat returns the named numeric attribute of a collected span.
+func (s *Span) AttrFloat(key string) (float64, bool) {
+	for i := 0; i < s.nattrs; i++ {
+		if s.attrs[i].Key == key && s.attrs[i].IsNum {
+			return s.attrs[i].Num, true
+		}
+	}
+	return 0, false
+}
+
+// Attrs renders the annotations as a map; numbers are rounded to 3
+// decimals so exported JSON stays readable.
+func (s *Span) Attrs() map[string]any {
+	if s.nattrs == 0 {
+		return nil
+	}
+	m := make(map[string]any, s.nattrs)
+	for i := 0; i < s.nattrs; i++ {
+		a := s.attrs[i]
+		if a.IsNum {
+			m[a.Key] = round3(a.Num)
+		} else {
+			m[a.Key] = a.Str
+		}
+	}
+	return m
+}
+
+func round3(v float64) float64 {
+	f, err := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 3, 64), 64)
+	if err != nil {
+		return v
+	}
+	return f
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan stores a span context for in-process propagation —
+// the bridge used when the platform and the benchmark share a process
+// and no HTTP header crosses between them.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext returns the span context stored by ContextWithSpan,
+// or the zero context.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

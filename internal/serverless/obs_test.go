@@ -1,0 +1,198 @@
+package serverless
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/obs"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfbench"
+)
+
+// TestMetricsSeriesTypes is the regression test for the exposition
+// format: every monotonic wfserverless_*_total series must be typed
+// counter (they were once declared gauge, which breaks rate()), live
+// series stay gauges, and the invocation latency histogram is complete.
+func TestMetricsSeriesTypes(t *testing.T) {
+	c := cluster.PaperTestbed()
+	p := startPlatform(t, fastOpts(c, sharedfs.NewMem()))
+	if err := p.Apply(ServiceConfig{Name: "wfbench", Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(context.Background(), "wfbench", benchReq("f1", 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(p.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	types := map[string]string{}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" {
+			types[f[2]] = f[3]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, typ := range types {
+		if strings.HasSuffix(name, "_total") && typ != "counter" {
+			t.Errorf("%s declared %q, monotonic series must be counters", name, typ)
+		}
+	}
+	for _, want := range []struct{ name, typ string }{
+		{"wfserverless_requests_total", "counter"},
+		{"wfserverless_cold_starts_total", "counter"},
+		{"wfserverless_failures_total", "counter"},
+		{"wfserverless_scale_stalls_total", "counter"},
+		{"wfserverless_pods", "gauge"},
+		{"wfserverless_queue_depth", "gauge"},
+		{"wfserverless_invocation_seconds", "histogram"},
+	} {
+		if got := types[want.name]; got != want.typ {
+			t.Errorf("%s type = %q, want %q", want.name, got, want.typ)
+		}
+	}
+
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{
+		`wfserverless_invocation_seconds_bucket{le="+Inf"} `,
+		"wfserverless_invocation_seconds_sum ",
+		"wfserverless_invocation_seconds_count 1",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("exposition missing %q", frag)
+		}
+	}
+}
+
+// TestInvocationSpans drives a sampled invocation through the platform
+// twice — once through the in-process Invoke path and once through the
+// HTTP ingress with a Traceparent header — and checks the platform
+// emits queue/coldstart/execute spans and the WfBench layer its phase
+// leaves, all correctly parented onto the caller's trace.
+func TestInvocationSpans(t *testing.T) {
+	tr := obs.NewTracer(obs.Options{SampleRatio: 1})
+	c := cluster.PaperTestbed()
+	opts := fastOpts(c, sharedfs.NewMem())
+	opts.Tracer = tr
+	p := startPlatform(t, opts)
+	if err := p.Apply(ServiceConfig{Name: "wfbench", Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	root := tr.StartRoot("invoke", obs.LayerWFM)
+	rootCtx := root.Context()
+
+	ctx := obs.ContextWithSpan(context.Background(), rootCtx)
+	first, err := p.Invoke(ctx, "wfbench", benchReq("f1", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.ColdStart {
+		t.Fatal("first invocation on a fresh pod did not report ColdStart")
+	}
+
+	body, _ := json.Marshal(benchReq("f2", 10))
+	req, _ := http.NewRequest(http.MethodPost, p.URL()+"/wfbench/wfbench", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", rootCtx.Traceparent())
+	hres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second wfbench.Response
+	if err := json.NewDecoder(hres.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if !second.OK {
+		t.Fatalf("HTTP invocation failed: %+v", second)
+	}
+	if second.ColdStart {
+		t.Fatal("second invocation on a warm pod reported ColdStart")
+	}
+
+	root.Finish()
+	spans := tr.Take()
+	counts := map[string]int{}
+	execIDs := map[obs.SpanID]bool{}
+	for _, s := range spans {
+		counts[s.Name]++
+		if s.Trace != rootCtx.TraceID {
+			t.Fatalf("span %s has trace %s, want %s", s.Name, s.Trace, rootCtx.TraceID)
+		}
+		switch s.Name {
+		case "queue", "coldstart", "execute":
+			if s.Layer != obs.LayerPlatform {
+				t.Fatalf("%s layer = %q", s.Name, s.Layer)
+			}
+			if s.Parent != rootCtx.SpanID {
+				t.Fatalf("%s not parented to the caller's span", s.Name)
+			}
+			if s.Name == "execute" {
+				execIDs[s.ID] = true
+			}
+		case "memory", "cpu", "outputs":
+			if s.Layer != obs.LayerWfbench {
+				t.Fatalf("%s layer = %q", s.Name, s.Layer)
+			}
+		}
+	}
+	for name, want := range map[string]int{
+		"queue": 2, "execute": 2, "coldstart": 1,
+		"memory": 2, "cpu": 2, "outputs": 2,
+	} {
+		if counts[name] != want {
+			t.Fatalf("span %q count = %d, want %d (all: %v)", name, counts[name], want, counts)
+		}
+	}
+	for _, s := range spans {
+		if s.Layer == obs.LayerWfbench && !execIDs[s.Parent] {
+			t.Fatalf("wfbench span %s not parented to an execute span", s.Name)
+		}
+	}
+	for _, s := range spans {
+		if s.Name == "coldstart" && !s.End.After(s.Start) {
+			t.Fatal("coldstart span has no duration")
+		}
+	}
+}
+
+// TestUntracedInvocationEmitsNothing pins the off path: with no tracer
+// (or no propagated context) an invocation must not record spans, and
+// ColdStart reporting still works.
+func TestUntracedInvocationEmitsNothing(t *testing.T) {
+	tr := obs.NewTracer(obs.Options{SampleRatio: 1})
+	c := cluster.PaperTestbed()
+	opts := fastOpts(c, sharedfs.NewMem())
+	opts.Tracer = tr
+	p := startPlatform(t, opts)
+	if err := p.Apply(ServiceConfig{Name: "wfbench", Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Invoke(context.Background(), "wfbench", benchReq("f1", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.ColdStart {
+		t.Fatal("ColdStart not reported without tracing")
+	}
+	if got := tr.Take(); len(got) != 0 {
+		t.Fatalf("untraced invocation recorded %d spans", len(got))
+	}
+}

@@ -9,29 +9,31 @@ import (
 // WriteMetrics emits the platform's operational counters in Prometheus
 // text exposition format at GET /metrics — the monitoring surface a
 // production deployment of the platform would scrape alongside the
-// PCP-style resource sampler.
+// PCP-style resource sampler. Monotonic series (the *_total family)
+// are typed counter so rate() works on them; point-in-time series are
+// gauges.
 func (p *Platform) WriteMetrics(w io.Writer) error {
 	st := p.Stats()
-	write := func(name, help string, v float64) error {
-		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	write := func(name, typ, help string, v float64) error {
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
 		return err
 	}
-	if err := write("wfserverless_pods", "live pods across all services", float64(st.Pods)); err != nil {
+	if err := write("wfserverless_pods", "gauge", "live pods across all services", float64(st.Pods)); err != nil {
 		return err
 	}
-	if err := write("wfserverless_queue_depth", "queued invocations", float64(st.QueueDepth)); err != nil {
+	if err := write("wfserverless_queue_depth", "gauge", "queued invocations", float64(st.QueueDepth)); err != nil {
 		return err
 	}
-	if err := write("wfserverless_cold_starts_total", "cumulative pod cold starts", float64(st.ColdStarts)); err != nil {
+	if err := write("wfserverless_cold_starts_total", "counter", "cumulative pod cold starts", float64(st.ColdStarts)); err != nil {
 		return err
 	}
-	if err := write("wfserverless_requests_total", "cumulative invocations", float64(st.Requests)); err != nil {
+	if err := write("wfserverless_requests_total", "counter", "cumulative invocations", float64(st.Requests)); err != nil {
 		return err
 	}
-	if err := write("wfserverless_failures_total", "cumulative failed invocations", float64(st.Failures)); err != nil {
+	if err := write("wfserverless_failures_total", "counter", "cumulative failed invocations", float64(st.Failures)); err != nil {
 		return err
 	}
-	if err := write("wfserverless_scale_stalls_total", "autoscaler ticks blocked on resources", float64(st.ScaleStalls)); err != nil {
+	if err := write("wfserverless_scale_stalls_total", "counter", "autoscaler ticks blocked on resources", float64(st.ScaleStalls)); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(st.Services))
@@ -48,5 +50,6 @@ func (p *Platform) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return p.latency.WriteProm(w, "wfserverless_invocation_seconds",
+		"end-to-end invocation latency: queue wait plus execution")
 }

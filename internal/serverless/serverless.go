@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"wfserverless/internal/cluster"
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
 )
@@ -122,6 +124,11 @@ type Options struct {
 	InstantScaleUp bool
 	// Placer selects nodes for pod reservations; nil means first fit.
 	Placer cluster.Placer
+	// Tracer records platform spans (queue wait, cold start, pod
+	// execution) for invocations whose callers propagated a sampled
+	// trace context; the WfBench layer inherits the same tracer for its
+	// phase spans. Nil disables span emission.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) applyDefaults() error {
@@ -156,10 +163,17 @@ func (o *Options) scaled(nominalSeconds float64) time.Duration {
 	return time.Duration(nominalSeconds * o.TimeScale * float64(time.Second))
 }
 
-// invocation is one in-flight function request.
+// invocation is one in-flight function request. parent is the trace
+// context propagated by the caller (a Traceparent header at the
+// ingress, or in-process via obs.ContextWithSpan); queue is the open
+// queue-wait span. Invoke owns the queue span until the enqueue
+// succeeds; after that the worker that dequeues the invocation
+// finishes it, so the span is closed exactly once on every path.
 type invocation struct {
 	req    *wfbench.Request
 	respCh chan invocationResult
+	parent obs.SpanContext
+	queue  *obs.Span
 }
 
 type invocationResult struct {
@@ -187,6 +201,9 @@ type Platform struct {
 	// scaleStalls counts autoscaler ticks where a needed pod could not
 	// be placed for lack of cluster resources.
 	scaleStalls atomic.Int64
+	// latency tracks end-to-end invocation wall time (queue wait plus
+	// execution), exposed as a histogram at GET /metrics.
+	latency metrics.Histogram
 }
 
 // New returns an unstarted platform.
@@ -365,12 +382,16 @@ func (p *Platform) Invoke(ctx context.Context, serviceName string, req *wfbench.
 		return nil, fmt.Errorf("serverless: no such service %q", serviceName)
 	}
 	p.requests.Add(1)
-	inv := &invocation{req: req, respCh: make(chan invocationResult, 1)}
+	start := time.Now()
+	inv := &invocation{req: req, respCh: make(chan invocationResult, 1), parent: obs.SpanFromContext(ctx)}
+	inv.queue = p.opts.Tracer.StartChild(inv.parent, "queue", obs.LayerPlatform)
 	svc.inflight.Add(1)
 	defer svc.inflight.Add(-1)
 	select {
 	case svc.queue <- inv:
 	case <-ctx.Done():
+		inv.queue.SetAttr("error", "cancelled before dispatch")
+		inv.queue.Finish()
 		p.failures.Add(1)
 		// Distinguish overload from a caller that simply gave up: only
 		// a full queue is the platform's fault, and only that case
@@ -380,11 +401,14 @@ func (p *Platform) Invoke(ctx context.Context, serviceName string, req *wfbench.
 		}
 		return nil, fmt.Errorf("serverless: %s: %w", serviceName, ctx.Err())
 	case <-p.stopCh:
+		inv.queue.SetAttr("error", "platform stopped")
+		inv.queue.Finish()
 		p.failures.Add(1)
 		return nil, fmt.Errorf("serverless: %s: %w", serviceName, ErrStopped)
 	}
 	select {
 	case r := <-inv.respCh:
+		p.latency.ObserveDuration(time.Since(start))
 		if r.err != nil {
 			p.failures.Add(1)
 		}
@@ -478,7 +502,16 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := p.Invoke(r.Context(), service, &req)
+	// A caller that sampled its invoke span propagates the trace here;
+	// requests without (or with malformed) Traceparent headers pay only
+	// this header probe.
+	ctx := r.Context()
+	if tp := r.Header.Get("Traceparent"); tp != "" {
+		if sc, ok := obs.ParseTraceparent(tp); ok {
+			ctx = obs.ContextWithSpan(ctx, sc)
+		}
+	}
+	resp, err := p.Invoke(ctx, service, &req)
 	status := http.StatusOK
 	if err != nil {
 		if resp == nil {
@@ -708,6 +741,15 @@ type pod struct {
 	active     atomic.Int64
 	lastActive atomic.Int64 // UnixNano
 
+	// createdAt/readyAt bound the cold start: scheduling at newPod,
+	// workers live after the ColdStart sleep. readyAt is written before
+	// the worker goroutines launch, so worker loops read it safely.
+	// served flips on the first invocation a pod handles — that request
+	// paid the cold start and reports ColdStart in its response.
+	createdAt time.Time
+	readyAt   time.Time
+	served    atomic.Bool
+
 	releaseOverheadMem func()
 	releaseOverheadCPU func()
 }
@@ -721,16 +763,18 @@ func newPod(s *service, id int, res *cluster.Reservation) (*pod, error) {
 		TimeScale: opts.TimeScale,
 		InputWait: opts.scaled(opts.InputWait),
 		KeepMem:   s.cfg.KeepMem,
+		Tracer:    opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
 	pd := &pod{
-		svc:    s,
-		name:   fmt.Sprintf("%s-pod-%05d", s.cfg.Name, id),
-		res:    res,
-		bench:  bench,
-		stopCh: make(chan struct{}),
+		svc:       s,
+		name:      fmt.Sprintf("%s-pod-%05d", s.cfg.Name, id),
+		res:       res,
+		bench:     bench,
+		stopCh:    make(chan struct{}),
+		createdAt: time.Now(),
 	}
 	pd.lastActive.Store(time.Now().UnixNano())
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -760,6 +804,7 @@ func (pd *pod) start(coldStart time.Duration) {
 			case <-t.C:
 			}
 		}
+		pd.readyAt = time.Now()
 		node := pd.res.Node()
 		opts := pd.svc.p.opts
 		mem := opts.PodOverheadMem + int64(len(pd.workers))*opts.WorkerOverheadMem
@@ -784,10 +829,35 @@ func (pd *pod) workerLoop(w *wfbench.Worker) {
 			return
 		case inv := <-pd.svc.queue:
 			pd.active.Add(1)
-			resp, err := w.Execute(context.Background(), inv.req)
+			inv.queue.Finish()
+			tracer := pd.svc.p.opts.Tracer
+			first := !pd.served.Swap(true)
+			if first {
+				// The first request a pod serves is the one that waited
+				// out its cold start; attribute the boot window to it.
+				if cs := tracer.StartChild(inv.parent, "coldstart", obs.LayerPlatform); cs != nil {
+					cs.SetStart(pd.createdAt)
+					cs.SetAttr("pod", pd.name)
+					cs.FinishAt(pd.readyAt)
+				}
+			}
+			exec := tracer.StartChild(inv.parent, "execute", obs.LayerPlatform)
+			exec.SetAttr("pod", pd.name)
+			// Workers honour no per-request deadline (gunicorn --timeout
+			// 0), so the trace context rides a fresh background context.
+			ctx := context.Background()
+			if exec != nil {
+				ctx = obs.ContextWithSpan(ctx, exec.Context())
+			}
+			resp, err := w.Execute(ctx, inv.req)
 			if resp != nil {
 				resp.Pod = pd.name
+				resp.ColdStart = first
 			}
+			if err != nil {
+				exec.SetAttr("error", err.Error())
+			}
+			exec.Finish()
 			pd.active.Add(-1)
 			pd.lastActive.Store(time.Now().UnixNano())
 			inv.respCh <- invocationResult{resp: resp, err: err}

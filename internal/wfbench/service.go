@@ -4,8 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
+
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
 )
 
 // Service is WfBench as a Service: an HTTP handler answering
@@ -19,6 +24,10 @@ type Service struct {
 	nWorkers int
 	requests atomic.Int64
 	active   atomic.Int64
+	failures atomic.Int64
+	// latency tracks per-request execution wall time (worker wait
+	// included), exposed as a histogram at GET /metrics.
+	latency metrics.Histogram
 }
 
 // NewService returns a service with n workers over the bench.
@@ -57,10 +66,10 @@ func (s *Service) Close() {
 // Execute runs one request on the next free worker, blocking until one
 // is available. It is the library-call equivalent of POST /wfbench.
 func (s *Service) Execute(req *Request) (*Response, error) {
-	return s.execute(req)
+	return s.execute(context.Background(), req)
 }
 
-func (s *Service) execute(req *Request) (*Response, error) {
+func (s *Service) execute(ctx context.Context, req *Request) (*Response, error) {
 	w := <-s.workers
 	s.active.Add(1)
 	defer func() {
@@ -68,17 +77,50 @@ func (s *Service) execute(req *Request) (*Response, error) {
 		s.workers <- w
 	}()
 	s.requests.Add(1)
+	start := time.Now()
 	// Workers honour no per-request deadline: the paper configures
 	// gunicorn with --timeout 0.
-	return w.Execute(context.Background(), req)
+	resp, err := w.Execute(ctx, req)
+	s.latency.ObserveDuration(time.Since(start))
+	if err != nil {
+		s.failures.Add(1)
+	}
+	return resp, err
 }
 
-// ServeHTTP implements http.Handler for POST /wfbench and GET /healthz.
+// WriteMetrics emits the service's operational series in Prometheus
+// text exposition format — the standalone deployment's GET /metrics.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	write := func(name, typ, help string, v float64) error {
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+		return err
+	}
+	if err := write("wfbench_workers", "gauge", "worker pool size", float64(s.nWorkers)); err != nil {
+		return err
+	}
+	if err := write("wfbench_active", "gauge", "requests currently executing", float64(s.active.Load())); err != nil {
+		return err
+	}
+	if err := write("wfbench_requests_total", "counter", "cumulative requests served", float64(s.requests.Load())); err != nil {
+		return err
+	}
+	if err := write("wfbench_failures_total", "counter", "cumulative failed requests", float64(s.failures.Load())); err != nil {
+		return err
+	}
+	return s.latency.WriteProm(w, "wfbench_execution_seconds",
+		"per-request execution wall time including worker wait")
+}
+
+// ServeHTTP implements http.Handler for POST /wfbench, GET /healthz and
+// GET /metrics.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
 	case r.URL.Path == "/wfbench" && r.Method == http.MethodPost:
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -89,7 +131,14 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := s.execute(&req)
+		// The trace context rides a background context (workers ignore
+		// client disconnects, like the platform's pods) so phase spans
+		// still parent onto the caller's invoke span.
+		ctx := context.Background()
+		if sc, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+			ctx = obs.ContextWithSpan(ctx, sc)
+		}
+		resp, err := s.execute(ctx, &req)
 		status := http.StatusOK
 		if err != nil {
 			status = http.StatusInternalServerError

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 )
 
@@ -198,6 +199,11 @@ type Config struct {
 	// KeepMem is the paper's --vm-keep: workers retain their ballast
 	// between invocations (persistent memory, PM paradigms).
 	KeepMem bool
+	// Tracer emits leaf spans for an invocation's phases (input wait,
+	// memory ballast, CPU stress, output writes) when the caller
+	// propagated a sampled trace context via obs.ContextWithSpan. Nil
+	// disables span emission.
+	Tracer *obs.Tracer
 }
 
 // Bench executes WfBench invocations against a shared drive.
@@ -264,10 +270,17 @@ func (w *Worker) Execute(ctx context.Context, req *Request) (*Response, error) {
 		return resp, err
 	}
 	cfg := w.bench.cfg
+	// sc is the execute-level span the platform (or service handler)
+	// propagated; each benchmark phase below becomes a leaf span under
+	// it. An invalid/unsampled context makes every StartChild nil and
+	// all span calls no-ops.
+	sc := obs.SpanFromContext(ctx)
 
 	// 1. Input files must be present on the shared drive (written by
 	// preceding functions or staged as external inputs).
 	if len(req.Inputs) > 0 {
+		span := cfg.Tracer.StartChild(sc, "inputs", obs.LayerWfbench)
+		span.SetInt("files", len(req.Inputs))
 		waitCtx := ctx
 		if cfg.InputWait > 0 {
 			var cancel context.CancelFunc
@@ -279,18 +292,25 @@ func (w *Worker) Execute(ctx context.Context, req *Request) (*Response, error) {
 			defer cancel()
 		}
 		poll := cfg.InputWait / 20
-		if missing, _ := sharedfs.WaitFor(waitCtx, cfg.Drive, req.Inputs, poll); len(missing) > 0 {
+		missing, _ := sharedfs.WaitFor(waitCtx, cfg.Drive, req.Inputs, poll)
+		if len(missing) > 0 {
 			err := fmt.Errorf("wfbench: %s: missing inputs %v", req.Name, missing)
+			span.SetAttr("error", err.Error())
+			span.Finish()
 			resp.Error = err.Error()
 			return resp, err
 		}
+		span.Finish()
 	}
 
 	// 2. Memory ballast. Without --vm-keep it lives for this invocation
 	// only; with it, the worker retains (and grows) the ballast until
 	// its process dies, which is what makes PM paradigms heavier.
 	if req.MemBytes > 0 {
+		span := cfg.Tracer.StartChild(sc, "memory", obs.LayerWfbench)
+		span.SetFloat("mem_bytes", float64(req.MemBytes))
 		if cfg.KeepMem {
+			span.SetAttr("keep", "true")
 			if req.MemBytes > w.ballastBytes {
 				if w.releaseBallast != nil {
 					w.releaseBallast()
@@ -302,28 +322,42 @@ func (w *Worker) Execute(ctx context.Context, req *Request) (*Response, error) {
 			release := cfg.Usage.AddMem(req.MemBytes)
 			defer release()
 		}
+		span.Finish()
 	}
 
 	// 3. CPU stress at the duty cycle.
 	busy, wall := req.Durations()
 	resp.BusySeconds, resp.WallSeconds = busy, wall
 	if wall > 0 {
+		span := cfg.Tracer.StartChild(sc, "cpu", obs.LayerWfbench)
+		span.SetFloat("duty", req.PercentCPU)
+		span.SetInt("cores", req.CoresOrOne())
 		releaseBusy := cfg.Usage.AddBusy(req.PercentCPU * float64(req.CoresOrOne()))
 		err := cfg.Engine.Run(ctx, time.Duration(wall*cfg.TimeScale*float64(time.Second)), req.PercentCPU)
 		releaseBusy()
 		if err != nil {
+			span.SetAttr("error", err.Error())
+			span.Finish()
 			resp.Error = err.Error()
 			return resp, err
 		}
+		span.Finish()
 	}
 
 	// 4. Outputs become visible to successor functions.
-	for out, size := range req.Out {
-		if err := cfg.Drive.WriteFile(out, size); err != nil {
-			resp.Error = err.Error()
-			return resp, err
+	if len(req.Out) > 0 {
+		span := cfg.Tracer.StartChild(sc, "outputs", obs.LayerWfbench)
+		for out, size := range req.Out {
+			if err := cfg.Drive.WriteFile(out, size); err != nil {
+				span.SetAttr("error", err.Error())
+				span.Finish()
+				resp.Error = err.Error()
+				return resp, err
+			}
+			resp.OutBytes += size
 		}
-		resp.OutBytes += size
+		span.SetFloat("out_bytes", float64(resp.OutBytes))
+		span.Finish()
 	}
 	resp.OK = true
 	return resp, nil

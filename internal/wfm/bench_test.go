@@ -113,7 +113,7 @@ func BenchmarkInvokeAllocs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := m.invoke(context.Background(), p, 0, rs); err != nil {
+		if _, _, err := m.invoke(context.Background(), p, 0, rs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wfserverless/internal/dag"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfformat"
 )
@@ -54,6 +55,20 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 	start := time.Now()
 	rs := m.newResilience(start)
 	defer func() { res.Breakers = rs.take() }()
+	root, finishTrace := m.startRunTrace(w.Name, res)
+	defer finishTrace()
+	mon := m.opts.Monitor
+	mon.runStarted(w.Name, ScheduleDependency, p.len())
+	if l := m.opts.Logger; l != nil {
+		l.Info("workflow run starting",
+			"workflow", w.Name, "tasks", p.len(), "scheduling", ScheduleDependency.String())
+	}
+	defer func() {
+		if l := m.opts.Logger; l != nil {
+			l.Info("workflow run finished",
+				"workflow", w.Name, "wall", res.Wall, "failed", len(res.Failed))
+		}
+	}()
 	if err := m.stageHeader(w, res, start); err != nil {
 		return res, err
 	}
@@ -77,13 +92,14 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 		go func() {
 			defer wg.Done()
 			for item := range dispatch {
-				completions <- completion{item.id, m.runTask(runCtx, p, csr, item, start, rs)}
+				completions <- completion{item.id, m.runTask(runCtx, p, csr, item, start, rs, root)}
 			}
 		}()
 	}
 
 	enqueue := func(ids []int32) {
 		now := time.Since(start)
+		mon.taskReady(len(ids))
 		for _, id := range ids {
 			dispatch <- dispatchItem{id: id, ready: now}
 		}
@@ -93,6 +109,10 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 		res.Tasks[tr.Name] = tr
 		if tr.Err != nil {
 			res.Failed = append(res.Failed, tr.Name)
+			if l := m.opts.Logger; l != nil {
+				l.Warn("task failed", "task", tr.Name, "phase", tr.Phase,
+					"attempts", tr.Attempts, "err", tr.Err)
+			}
 		}
 	}
 
@@ -123,6 +143,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 			for _, sid := range skipped {
 				accounted++
 				st := p.tasks[sid]
+				mon.taskSkipped()
 				record(&TaskResult{
 					Name:     st.Name,
 					Category: st.Category,
@@ -181,7 +202,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 
 // runTask executes one dispatched task on a worker: wait for its input
 // files (event-driven on drives that support watching), then invoke.
-func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, item dispatchItem, start time.Time, rs *resilience) *TaskResult {
+func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, item dispatchItem, start time.Time, rs *resilience, root *obs.Span) *TaskResult {
 	task := p.tasks[item.id]
 	tr := &TaskResult{
 		Name:     task.Name,
@@ -189,10 +210,19 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 		Phase:    int(csr.Level(item.id)) + 1,
 		Ready:    item.ready,
 	}
+	mon := m.opts.Monitor
+	mon.taskStarted()
+	ts := m.opts.Tracer.StartChildOf(root, task.Name)
+	ts.SetStart(start.Add(item.ready))
+	finish := func() {
+		tr.End = time.Since(start)
+		mon.taskFinished(tr.End-tr.Start, tr.Err != nil)
+		m.finishTaskSpan(ts, tr)
+	}
 	if err := ctx.Err(); err != nil {
 		tr.Start = time.Since(start)
-		tr.End = tr.Start
 		tr.Err = err
+		finish()
 		return tr
 	}
 	if inputs := task.InputFiles(); len(inputs) > 0 {
@@ -201,14 +231,14 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 		cancel()
 		if err != nil {
 			tr.Start = time.Since(start)
-			tr.End = tr.Start
 			tr.Err = fmt.Errorf("wfm: %s: inputs missing on shared drive: %v: %w", task.Name, missing, err)
+			finish()
 			return tr
 		}
 	}
 	tr.Start = time.Since(start)
-	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, item.id, rs)
-	tr.End = time.Since(start)
+	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, item.id, rs, ts)
+	finish()
 	return tr
 }
 

@@ -1,0 +1,186 @@
+package wfm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfserverless/internal/metrics"
+)
+
+// Monitor is the manager's live telemetry plane: a set of counters and
+// gauges updated from the scheduling hot path with plain atomics and
+// exposed in Prometheus text format, so an operator can watch a run
+// drain (`curl /metrics` on the -telemetry-addr listener) without
+// touching its performance. All methods are safe on a nil *Monitor —
+// an unmonitored Manager pays one nil check per event.
+//
+// A Monitor may outlive individual runs (the cmd/wfm listener starts
+// before the workflow does); counters are cumulative across runs,
+// matching Prometheus counter semantics.
+type Monitor struct {
+	mu         sync.Mutex
+	workflow   string
+	scheduling string
+	total      int64
+
+	ready   atomic.Int64 // released by the scheduler, not yet invoking
+	running atomic.Int64 // HTTP invocation in flight
+	done    atomic.Int64 // completed successfully
+	failed  atomic.Int64 // terminal failures, including skipped descendants
+	retries atomic.Int64 // extra invocation attempts beyond the first
+
+	breakersOpen atomic.Int64
+
+	latency metrics.Histogram // wall seconds per completed task invocation
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// runStarted records the identity of the run now feeding the monitor.
+func (mo *Monitor) runStarted(workflow string, scheduling Scheduling, total int) {
+	if mo == nil {
+		return
+	}
+	mo.mu.Lock()
+	mo.workflow = workflow
+	mo.scheduling = scheduling.String()
+	mo.total = int64(total)
+	mo.mu.Unlock()
+}
+
+func (mo *Monitor) taskReady(n int) {
+	if mo != nil {
+		mo.ready.Add(int64(n))
+	}
+}
+
+func (mo *Monitor) taskStarted() {
+	if mo != nil {
+		mo.ready.Add(-1)
+		mo.running.Add(1)
+	}
+}
+
+func (mo *Monitor) taskFinished(wall time.Duration, failed bool) {
+	if mo == nil {
+		return
+	}
+	mo.running.Add(-1)
+	if failed {
+		mo.failed.Add(1)
+	} else {
+		mo.done.Add(1)
+	}
+	mo.latency.ObserveDuration(wall)
+}
+
+// taskSkipped accounts a task that will never run because an ancestor
+// failed: it was never ready or running, it just fails.
+func (mo *Monitor) taskSkipped() {
+	if mo != nil {
+		mo.failed.Add(1)
+	}
+}
+
+func (mo *Monitor) retried() {
+	if mo != nil {
+		mo.retries.Add(1)
+	}
+}
+
+func (mo *Monitor) breakerChanged(from, to string) {
+	if mo == nil {
+		return
+	}
+	if to == BreakerOpen {
+		mo.breakersOpen.Add(1)
+	}
+	if from == BreakerOpen {
+		mo.breakersOpen.Add(-1)
+	}
+}
+
+// Latency exposes the invocation-latency histogram (read-side only).
+func (mo *Monitor) Latency() *metrics.Histogram {
+	if mo == nil {
+		return nil
+	}
+	return &mo.latency
+}
+
+// Snapshot is a point-in-time view of the monitor's state.
+type Snapshot struct {
+	Workflow   string
+	Scheduling string
+	Total      int64
+	Ready      int64
+	Running    int64
+	Done       int64
+	Failed     int64
+	Retries    int64
+	OpenBreak  int64
+}
+
+// Snapshot returns the current progress counters.
+func (mo *Monitor) Snapshot() Snapshot {
+	if mo == nil {
+		return Snapshot{}
+	}
+	mo.mu.Lock()
+	s := Snapshot{Workflow: mo.workflow, Scheduling: mo.scheduling, Total: mo.total}
+	mo.mu.Unlock()
+	s.Ready = mo.ready.Load()
+	s.Running = mo.running.Load()
+	s.Done = mo.done.Load()
+	s.Failed = mo.failed.Load()
+	s.Retries = mo.retries.Load()
+	s.OpenBreak = mo.breakersOpen.Load()
+	return s
+}
+
+// WriteMetrics writes the monitor's state in Prometheus text exposition
+// format.
+func (mo *Monitor) WriteMetrics(w io.Writer) error {
+	s := mo.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP wfm_workflow_info Identity of the workflow run feeding these metrics.\n")
+	p("# TYPE wfm_workflow_info gauge\n")
+	p("wfm_workflow_info{workflow=%q,scheduling=%q} 1\n", s.Workflow, s.Scheduling)
+	p("# HELP wfm_tasks_total Tasks in the current workflow.\n")
+	p("# TYPE wfm_tasks_total gauge\n")
+	p("wfm_tasks_total %d\n", s.Total)
+	p("# HELP wfm_tasks_ready Tasks released by the scheduler, not yet invoking.\n")
+	p("# TYPE wfm_tasks_ready gauge\n")
+	p("wfm_tasks_ready %d\n", s.Ready)
+	p("# HELP wfm_tasks_running Tasks with an HTTP invocation in flight.\n")
+	p("# TYPE wfm_tasks_running gauge\n")
+	p("wfm_tasks_running %d\n", s.Running)
+	p("# HELP wfm_tasks_done_total Tasks completed successfully.\n")
+	p("# TYPE wfm_tasks_done_total counter\n")
+	p("wfm_tasks_done_total %d\n", s.Done)
+	p("# HELP wfm_tasks_failed_total Tasks failed terminally, including skipped descendants.\n")
+	p("# TYPE wfm_tasks_failed_total counter\n")
+	p("wfm_tasks_failed_total %d\n", s.Failed)
+	p("# HELP wfm_invocation_retries_total Invocation attempts beyond each task's first.\n")
+	p("# TYPE wfm_invocation_retries_total counter\n")
+	p("wfm_invocation_retries_total %d\n", s.Retries)
+	p("# HELP wfm_breakers_open Circuit breakers currently open.\n")
+	p("# TYPE wfm_breakers_open gauge\n")
+	p("wfm_breakers_open %d\n", s.OpenBreak)
+	if err != nil {
+		return err
+	}
+	if mo != nil {
+		return mo.latency.WriteProm(w, "wfm_invocation_seconds", "Wall time per completed task invocation.")
+	}
+	return nil
+}

@@ -19,7 +19,7 @@ func (m *Manager) invokeTask(ctx context.Context, task *wfformat.Task, rs *resil
 	if err != nil {
 		return nil, 0, err
 	}
-	return m.invoke(ctx, p, 0, rs)
+	return m.invoke(ctx, p, 0, rs, nil)
 }
 
 // TestInvocationPlanBodies pins the payload arena: every task's body

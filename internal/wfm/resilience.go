@@ -289,6 +289,11 @@ func (rs *resilience) addTransition(t BreakerTransition) {
 	rs.mu.Lock()
 	rs.transitions = append(rs.transitions, t)
 	rs.mu.Unlock()
+	rs.m.opts.Monitor.breakerChanged(t.From, t.To)
+	if l := rs.m.opts.Logger; l != nil {
+		l.Warn("circuit breaker transition", "endpoint", t.Endpoint,
+			"from", t.From, "to", t.To, "failure_rate", t.FailureRate)
+	}
 }
 
 // take returns the accumulated transitions (called once, at run end).

@@ -7,6 +7,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"wfserverless/internal/obs"
 )
 
 // Trace is the serializable execution record of one workflow run — the
@@ -23,6 +25,12 @@ type Trace struct {
 	// Breakers are circuit-breaker state transitions, in time order.
 	Breakers []TraceBreakerEvent `json:"breakers,omitempty"`
 	Events   []TraceEvent        `json:"events"`
+	// TraceID identifies the run's distributed trace; empty when the
+	// run was not sampled.
+	TraceID string `json:"traceId,omitempty"`
+	// Spans are the distributed-trace spans collected across all layers
+	// that shared the run's tracer (WFM, platform, wfbench).
+	Spans []obs.Record `json:"spans,omitempty"`
 }
 
 // TraceBreakerEvent is one circuit-breaker transition in the trace.
@@ -64,6 +72,8 @@ func TraceOf(res *Result) *Trace {
 		WallMS:     float64(res.Wall.Microseconds()) / 1000,
 		Failed:     append([]string(nil), res.Failed...),
 		Warnings:   append([]string(nil), res.Warnings...),
+		TraceID:    res.TraceID,
+		Spans:      obs.RecordsOf(res.Spans),
 	}
 	for _, bt := range res.Breakers {
 		tr.Breakers = append(tr.Breakers, TraceBreakerEvent{
@@ -114,13 +124,15 @@ func (tr *Trace) WriteJSON(w io.Writer) error {
 // WriteCSV emits the trace events as CSV, one row per invocation.
 func (tr *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"name", "category", "phase", "start_ms", "end_ms", "pod", "error"}); err != nil {
+	if err := cw.Write([]string{"name", "category", "phase", "ready_ms", "start_ms", "end_ms", "attempts", "pod", "error"}); err != nil {
 		return err
 	}
 	for _, ev := range tr.Events {
 		if err := cw.Write([]string{
 			ev.Name, ev.Category, strconv.Itoa(ev.Phase),
+			fmt.Sprintf("%.3f", ev.ReadyMS),
 			fmt.Sprintf("%.3f", ev.StartMS), fmt.Sprintf("%.3f", ev.EndMS),
+			strconv.Itoa(ev.Attempts),
 			ev.Pod, ev.Error,
 		}); err != nil {
 			return err
@@ -128,6 +140,25 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteChromeTrace renders the run's span tree as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing, with one process row
+// per layer (WFM, platform, wfbench).
+func (tr *Trace) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, tr.Spans)
+}
+
+// WriteSpanLog writes the run's spans as a flat JSONL log.
+func (tr *Trace) WriteSpanLog(w io.Writer) error {
+	return obs.WriteJSONL(w, tr.Spans)
+}
+
+// SpanCriticalPath returns the run's longest span chain — the
+// root-to-leaf path ending at the span that finished last, which is
+// what sets the makespan. Empty when the run recorded no spans.
+func (tr *Trace) SpanCriticalPath() []obs.Record {
+	return obs.CriticalPath(tr.Spans)
 }
 
 // ParseTrace reads a JSON trace.

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"wfserverless/internal/dag"
+	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
 	"wfserverless/internal/wfformat"
@@ -154,6 +156,22 @@ type Options struct {
 	// Scheduling selects the execution model; the zero value is
 	// SchedulePhases, the paper's phase-barrier loop.
 	Scheduling Scheduling
+	// Tracer records distributed-trace spans for the run: a root span
+	// per workflow, a span per task (backdated to when the task became
+	// ready, annotated with queueing latency and attempts), and a span
+	// per invocation attempt whose context is injected as a W3C
+	// traceparent header on the HTTP POST. Nil disables tracing; an
+	// unsampled or disabled run executes the identical hot path.
+	Tracer *obs.Tracer
+	// Monitor receives live progress counters (tasks ready, running,
+	// done, failed; retries; open breakers) and the invocation-latency
+	// histogram, for the -telemetry-addr /metrics endpoint. Nil
+	// disables monitoring.
+	Monitor *Monitor
+	// Logger receives structured run-lifecycle events (run start/end,
+	// phase dispatch, task failures, breaker transitions). Nil disables
+	// logging.
+	Logger *slog.Logger
 }
 
 // Manager executes workflows.
@@ -263,6 +281,13 @@ type Result struct {
 	// the run, in time order (empty unless Options.Breaker is enabled
 	// and an endpoint misbehaved).
 	Breakers []BreakerTransition
+	// TraceID identifies the run's distributed trace when the run was
+	// sampled (Options.Tracer set and the root span recorded).
+	TraceID string
+	// Spans holds the spans collected for this run across every layer
+	// that shares the manager's Tracer — the WFM itself plus, for the
+	// in-process platform, the platform and wfbench spans.
+	Spans []obs.Span
 }
 
 // PhaseError reports a phase whose functions failed.
@@ -377,6 +402,20 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 	// Breaker transitions belong in the Result on every exit path,
 	// including aborts and cancellations.
 	defer func() { res.Breakers = rs.take() }()
+	root, finishTrace := m.startRunTrace(w.Name, res)
+	defer finishTrace()
+	mon := m.opts.Monitor
+	mon.runStarted(w.Name, SchedulePhases, p.len())
+	if l := m.opts.Logger; l != nil {
+		l.Info("workflow run starting",
+			"workflow", w.Name, "tasks", p.len(), "phases", len(levels), "scheduling", SchedulePhases.String())
+	}
+	defer func() {
+		if l := m.opts.Logger; l != nil {
+			l.Info("workflow run finished",
+				"workflow", w.Name, "wall", res.Wall, "failed", len(res.Failed))
+		}
+	}()
 
 	// Header: stage external inputs so root functions find their data.
 	if err := m.stageHeader(w, res, start); err != nil {
@@ -392,6 +431,9 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 	for pi, level := range levels {
 		if err := ctx.Err(); err != nil {
 			return res, err
+		}
+		if l := m.opts.Logger; l != nil {
+			l.Debug("dispatching phase", "phase", pi+1, "tasks", len(level))
 		}
 		// Check that every input of the phase is on the shared drive,
 		// waiting briefly for stragglers from the previous phase.
@@ -409,6 +451,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 		// heap object per task — wide fan-out phases dispatch hundreds.
 		results := make([]TaskResult, len(level))
 		ready := time.Since(start)
+		mon.taskReady(len(level))
 		for i, id := range level {
 			wg.Add(1)
 			go func(tr *TaskResult, id int32) {
@@ -422,9 +465,14 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 				tr.Category = task.Category
 				tr.Phase = pi + 1
 				tr.Ready = ready
+				ts := m.opts.Tracer.StartChildOf(root, task.Name)
+				ts.SetStart(start.Add(ready))
+				mon.taskStarted()
 				tr.Start = time.Since(start)
-				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, id, rs)
+				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, id, rs, ts)
 				tr.End = time.Since(start)
+				mon.taskFinished(tr.End-tr.Start, tr.Err != nil)
+				m.finishTaskSpan(ts, tr)
 			}(&results[i], id)
 		}
 		wg.Wait()
@@ -437,6 +485,10 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 			if tr.Err != nil {
 				failed = append(failed, tr.Name)
 				errs = append(errs, tr.Err)
+				if l := m.opts.Logger; l != nil {
+					l.Warn("task failed", "task", tr.Name, "phase", tr.Phase,
+						"attempts", tr.Attempts, "err", tr.Err)
+				}
 			}
 		}
 		res.Phases = append(res.Phases, phases[pi])
@@ -507,13 +559,48 @@ func (m *Manager) awaitInputs(ctx context.Context, p *invocationPlan, level []in
 	return nil
 }
 
+// startRunTrace opens the run's root span (nil when tracing is off or
+// the run loses the sampling draw) and returns a finisher that, on any
+// exit path, closes the root and drains the tracer's collector into
+// the Result.
+func (m *Manager) startRunTrace(workflow string, res *Result) (*obs.Span, func()) {
+	root := m.opts.Tracer.StartRoot("workflow:"+workflow, obs.LayerWFM)
+	root.SetAttr("scheduling", res.Scheduling.String())
+	return root, func() {
+		if root == nil {
+			return
+		}
+		res.TraceID = root.Context().TraceID.String()
+		root.Finish()
+		res.Spans = m.opts.Tracer.Take()
+	}
+}
+
+// finishTaskSpan annotates and closes one task's span: ready→start
+// queueing latency, attempt count, and the terminal error if any.
+func (m *Manager) finishTaskSpan(ts *obs.Span, tr *TaskResult) {
+	if ts == nil {
+		return
+	}
+	ts.SetAttr("category", tr.Category)
+	ts.SetInt("phase", tr.Phase)
+	ts.SetFloat("queue_ms", float64(tr.QueueWait().Microseconds())/1000)
+	ts.SetInt("attempts", tr.Attempts)
+	if tr.Err != nil {
+		ts.SetAttr("error", tr.Err.Error())
+	}
+	ts.Finish()
+}
+
 // invoke POSTs one function's WfBench request to its api_url through
 // the resilience layer: a per-task deadline (Options.TaskTimeout) over
 // all attempts, retries with full-jitter exponential backoff honouring
 // server Retry-After hints, and the endpoint's circuit breaker. It
 // returns the response, the number of attempts made, and the terminal
-// error if the task failed.
-func (m *Manager) invoke(ctx context.Context, p *invocationPlan, id int32, rs *resilience) (*wfbench.Response, int, error) {
+// error if the task failed. When parent is a sampled span, each attempt
+// emits a child span and injects its context as the POST's traceparent
+// header; a nil parent keeps the whole path span-free.
+func (m *Manager) invoke(ctx context.Context, p *invocationPlan, id int32, rs *resilience, parent *obs.Span) (*wfbench.Response, int, error) {
 	task := p.tasks[id]
 	tctx := ctx
 	if m.opts.TaskTimeout > 0 {
@@ -531,14 +618,26 @@ func (m *Manager) invoke(ctx context.Context, p *invocationPlan, id int32, rs *r
 		if br != nil {
 			allowed, retryAfter = br.allow()
 		}
+		if attempt > 0 {
+			m.opts.Monitor.retried()
+		}
+		as := m.opts.Tracer.StartChildOf(parent, "invoke")
+		as.SetInt("attempt", attempt+1)
 		if !allowed {
 			resp, err = nil, fmt.Errorf("wfm: %s: %s: %w", task.Name, task.Command.APIURL, ErrCircuitOpen)
 			retriable = true
+			as.SetAttr("breaker", BreakerOpen)
 		} else {
-			resp, retriable, retryAfter, err = m.invokeOnce(tctx, p, id)
+			resp, retriable, retryAfter, err = m.invokeOnce(tctx, p, id, as.Context())
 			if br != nil {
 				br.record(classify(ctx, tctx, retriable, err))
 			}
+		}
+		if as != nil {
+			if err != nil {
+				as.SetAttr("error", err.Error())
+			}
+			as.Finish()
 		}
 		attempts := attempt + 1
 		if err == nil {
@@ -594,12 +693,21 @@ func classify(ctx, tctx context.Context, retriable bool, err error) attemptOutco
 // invokeOnce performs a single HTTP invocation from the plan's
 // pre-rendered artifacts: a shallow clone of the task's request
 // template, a pooled reader over the task's arena body, and a pooled
-// decode buffer for the response. retriable reports whether a failure
-// is worth retrying (network error, 5xx, or 429); retryAfter carries
-// the server's Retry-After hint when it sent one.
-func (m *Manager) invokeOnce(ctx context.Context, p *invocationPlan, id int32) (_ *wfbench.Response, retriable bool, retryAfter time.Duration, _ error) {
+// decode buffer for the response. A sampled span context is injected as
+// the request's traceparent header (on a fresh header map — the shared
+// template header is never mutated). retriable reports whether a
+// failure is worth retrying (network error, 5xx, or 429); retryAfter
+// carries the server's Retry-After hint when it sent one.
+func (m *Manager) invokeOnce(ctx context.Context, p *invocationPlan, id int32, sc obs.SpanContext) (_ *wfbench.Response, retriable bool, retryAfter time.Duration, _ error) {
 	task := p.tasks[id]
-	hres, err := m.opts.Client.Do(p.request(ctx, id))
+	req := p.request(ctx, id)
+	if sc.Sampled {
+		h := make(http.Header, 2)
+		h["Content-Type"] = sharedJSONHeader["Content-Type"]
+		h["Traceparent"] = []string{sc.Traceparent()}
+		req.Header = h
+	}
+	hres, err := m.opts.Client.Do(req)
 	if err != nil {
 		return nil, ctx.Err() == nil, 0, fmt.Errorf("wfm: %s: request: %w", task.Name, err)
 	}
