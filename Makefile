@@ -4,7 +4,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test tier1 check race race-obs bench bench-all bench-sched vet clean
+.PHONY: all build test tier1 check race race-obs race-durable bench bench-all bench-sched vet clean
 
 all: tier1
 
@@ -33,6 +33,14 @@ race:
 race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/wfm/...
 
+# race-durable is the focused race gate for durable execution: the
+# journal's group committer runs concurrently with appenders, rotation,
+# and Close/Abort, and the manager journals from every worker goroutine
+# — the lock split (staging vs file I/O) is exactly the kind of code
+# -race exists for.
+race-durable:
+	$(GO) test -race ./internal/journal/... ./internal/wfm/...
+
 # check is the pre-merge bar: tier1 plus vet and the race detector.
 check: tier1 vet race
 
@@ -44,7 +52,7 @@ check: tier1 vet race
 bench:
 	@tmp=$$(mktemp) || exit 1; \
 	( $(GO) test ./internal/dag -run xxx -bench 'SchedulerThroughput|CSRBuild' -benchmem -benchtime $(BENCHTIME) && \
-	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs|TracingOverhead' -benchmem -benchtime $(BENCHTIME) && \
+	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs|TracingOverhead|JournalOverhead' -benchmem -benchtime $(BENCHTIME) -short -timeout 1800s && \
 	  $(GO) test . -run xxx -bench 'InvocationThroughput' -benchmem -benchtime $(BENCHTIME) \
 	) > $$tmp 2>&1; \
 	status=$$?; cat $$tmp; \

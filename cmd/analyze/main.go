@@ -31,8 +31,14 @@ func main() {
 		metric    = flag.String("metric", "", "metric to render (default: all of "+fmt.Sprint(analysis.Metrics)+")")
 		ganttPath = flag.String("gantt", "", "render an execution trace (from wfm -trace) as a Gantt chart instead")
 		spanPath  = flag.String("trace", "", "summarize a span trace (Chrome trace JSON, span JSONL, or wfm trace JSON) instead")
+		jrnlPath  = flag.String("journal", "", "summarize a durable run journal (directory or segment file from wfm -journal) instead")
 	)
 	flag.Parse()
+
+	if *jrnlPath != "" {
+		runJournalSummary(*jrnlPath)
+		return
+	}
 
 	if *spanPath != "" {
 		runTraceSummary(*spanPath)
@@ -138,6 +144,68 @@ func loadSpanRecords(path string) ([]obs.Record, string, *wfm.Trace) {
 // runTraceSummary prints what a collected trace says about a run: span
 // volume per layer, latency percentiles per span name, and the critical
 // path that explains the makespan.
+// runJournalSummary decodes a durable run journal and prints the
+// post-mortem view: what ran, what completed, how many attempts each
+// task took, and what every crash/resume cycle recovered.
+func runJournalSummary(path string) {
+	s, err := wfm.ReadRunJournal(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== Run journal: %s ==\n", path)
+	if h := s.Header; h != nil {
+		fmt.Printf("workflow:     %s (%d tasks, %s scheduling)\n", h.Workflow, h.TaskCount, h.Scheduling)
+		fmt.Printf("fingerprint:  %s\n", h.Fingerprint)
+		fmt.Printf("options hash: %016x\n", h.OptionsHash)
+	} else {
+		fmt.Println("workflow:     (no run header — empty or foreign journal)")
+	}
+	fmt.Printf("segments:     %d", s.Segments)
+	if s.Torn {
+		fmt.Printf("  (torn tail: writer died mid-append)")
+	}
+	fmt.Println()
+
+	fmt.Println("\nevents:")
+	kinds := make([]string, 0, len(s.EventCounts))
+	for k := range s.EventCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, s.EventCounts[k])
+	}
+
+	attempts := 0
+	retried := 0
+	for _, n := range s.Attempts {
+		attempts += n
+		if n > 1 {
+			retried++
+		}
+	}
+	fmt.Printf("\ntasks:        %d started, %d completed, %d failed (%d skipped)\n",
+		len(s.Attempts), s.CompletedTasks, s.FailedTasks, s.SkippedTasks)
+	fmt.Printf("attempts:     %d total, %d task(s) ran more than once\n", attempts, retried)
+	if ids, n := s.MaxAttemptTasks(); n > 1 {
+		show := ids
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		fmt.Printf("max attempts: %d by task id(s) %v\n", n, show)
+	}
+	for i, r := range s.Resumes {
+		fmt.Printf("resume %d:     %d recorded, %d invocations skipped, %d re-executed\n",
+			i+1, r.Recorded, r.Verified, r.Reexecuted)
+	}
+	for i, e := range s.Ends {
+		fmt.Printf("run end %d:    %s (%d failed)\n", i+1, e.Status, e.Failed)
+	}
+	if len(s.Ends) == 0 {
+		fmt.Println("run end:      none recorded — the run is in flight or was killed")
+	}
+}
+
 func runTraceSummary(path string) {
 	recs, kind, tr := loadSpanRecords(path)
 	fmt.Printf("trace:      %s (%s, %d spans)\n", path, kind, len(recs))

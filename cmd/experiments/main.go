@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | scale | all")
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | scale | recovery | all")
 		small     = flag.Int("small", 30, "small workflow size")
 		large     = flag.Int("large", 120, "large workflow size")
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
@@ -43,6 +43,10 @@ func main() {
 		faultReject = flag.Float64("fault-reject-rate", 0.05, "resilience suite: probability of an injected 429")
 		faultLatMS  = flag.Float64("fault-latency-ms", 10, "resilience suite: injected latency spike, wall ms")
 		faultSeed   = flag.Int64("fault-seed", 13, "resilience suite: fault sequence seed")
+
+		// Shape of -suite recovery.
+		recoveryTasks  = flag.Int("recovery-tasks", 400, "recovery suite: synthetic workflow size per trial")
+		recoveryTrials = flag.Int("recovery-trials", 3, "recovery suite: randomized crash points per {scheduling} x {faults} cell")
 
 		// Shape of -suite scale.
 		scaleTasks    = flag.Int("scale-tasks", 100_000, "scale suite: synthetic workflow size")
@@ -155,6 +159,8 @@ func main() {
 		runSuite("fig6", experiments.Figure6)
 	case "fig7":
 		runSuite("fig7", experiments.Figure7)
+	case "recovery":
+		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale)
 	case "scale":
 		runScale(ctx, experiments.ScaleConfig{
 			Tasks:       *scaleTasks,
@@ -252,6 +258,36 @@ func formatBytes(n int64) string {
 	default:
 		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
 	}
+}
+
+// runRecovery executes the durable-execution campaign: randomized
+// kill/resume cycles across both scheduling modes, with and without
+// injected faults, asserting the resumed drive state matches an
+// uninterrupted reference and no recorded task runs twice.
+func runRecovery(ctx context.Context, tasks, trials int, seed int64, timeScale float64) {
+	fmt.Printf("== Recovery: %d-task workflows, %d randomized crash points per cell ==\n", tasks, trials)
+	ts, err := experiments.Recovery(ctx, experiments.RecoveryConfig{
+		Tasks:     tasks,
+		Trials:    trials,
+		Seed:      seed,
+		TimeScale: timeScale / 10, // recovery cells run 4x2 full workflows; keep the campaign snappy
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteRecoveryTable(os.Stdout, ts); err != nil {
+		fatal(err)
+	}
+	bad := 0
+	for _, t := range ts {
+		if !t.DriveMatch || t.DuplicateInvocations != 0 {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d of %d recovery trials violated durable-execution invariants", bad, len(ts)))
+	}
+	fmt.Printf("\nAll %d trials converged to the reference drive state with zero duplicate invocations.\n\n", len(ts))
 }
 
 // runConcurrent contrasts serverless vs local containers when several

@@ -10,6 +10,15 @@
 //
 //     wfm -workflow blast.json -workdir ./wfbench-data
 //
+//     Direct mode supports durable execution: -journal <dir> records a
+//     crash-consistent run journal, SIGINT/SIGTERM wind the run down
+//     resumably, and -resume continues a killed run without re-invoking
+//     completed tasks. -crash-after-tasks N injects a hard kill for
+//     recovery drills.
+//
+//     wfm -workflow blast.json -journal ./run-journal -crash-after-tasks 20
+//     wfm -workflow blast.json -journal ./run-journal -resume
+//
 //   - Simulated (-paradigm): provision the in-process platform for a
 //     Table II paradigm, translate, execute, and print the measured
 //     execution time, power, CPU, and memory.
@@ -26,10 +35,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"wfserverless/internal/experiments"
+	"wfserverless/internal/journal"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfformat"
@@ -58,6 +70,12 @@ func main() {
 		breakerThreshold = flag.Float64("breaker-threshold", 0, "failure rate that opens the breaker (0: 0.5)")
 		breakerWindow    = flag.Int("breaker-window", 0, "sliding window of attempts per endpoint (0: 20)")
 		breakerCooldown  = flag.Float64("breaker-cooldown", 0, "open-state cooldown before probing, nominal seconds (0: 5)")
+
+		journalDir     = flag.String("journal", "", "directory for the durable run journal (direct mode); enables crash recovery")
+		resume         = flag.Bool("resume", false, "resume the run recorded in -journal instead of starting fresh")
+		journalSync    = flag.String("journal-sync", "group", "journal fsync policy: group (batched), always (per record), never")
+		journalGroupMS = flag.Float64("journal-group-ms", 2, "group-commit batching window, wall milliseconds")
+		crashAfter     = flag.Int("crash-after-tasks", 0, "crash injection: sync the journal and kill the process after N completed tasks (requires -journal)")
 
 		sample      = flag.Float64("sample", 0, "trace sampling ratio in (0,1]: fraction of workflow roots recorded (0: off unless a trace output is set)")
 		chromeTrace = flag.String("chrome-trace", "", "write spans as Chrome trace-event JSON (load at ui.perfetto.dev or chrome://tracing)")
@@ -110,6 +128,50 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel the run context: in-flight tasks wind down,
+	// the journal and trace outputs are flushed, and the partial result
+	// is printed before exiting non-zero — so an interrupted run is
+	// resumable with -resume rather than silently torn.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		pol, err := journal.ParseSyncPolicy(*journalSync)
+		if err != nil {
+			fatal(err)
+		}
+		jnl, err = journal.Open(*journalDir, journal.Options{
+			Sync:        pol,
+			GroupWindow: time.Duration(*journalGroupMS * float64(time.Millisecond)),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if jnl.Torn() {
+			fmt.Fprintln(os.Stderr, "wfm: journal had a torn tail (interrupted writer); truncated to the last intact record")
+		}
+	}
+	if *resume && jnl == nil {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
+
+	var afterDone func(int)
+	if *crashAfter > 0 {
+		if jnl == nil {
+			fatal(fmt.Errorf("-crash-after-tasks requires -journal"))
+		}
+		n := *crashAfter
+		j := jnl
+		afterDone = func(done int) {
+			if done >= n {
+				j.Sync()
+				fmt.Fprintf(os.Stderr, "wfm: crash injection: killing the process after %d completed tasks\n", done)
+				os.Exit(137)
+			}
+		}
+	}
+
 	drive, err := sharedfs.NewDisk(*workdir)
 	if err != nil {
 		fatal(err)
@@ -130,33 +192,55 @@ func main() {
 			Window:           *breakerWindow,
 			Cooldown:         *breakerCooldown,
 		},
-		Tracer:  tracer,
-		Monitor: monitor,
-		Logger:  logger,
+		Tracer:        tracer,
+		Monitor:       monitor,
+		Logger:        logger,
+		Journal:       jnl,
+		AfterTaskDone: afterDone,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := mgr.Run(context.Background(), w)
-	if err != nil {
-		fatal(err)
+	var res *wfm.Result
+	var runErr error
+	if *resume {
+		res, runErr = mgr.Resume(ctx, w)
+	} else {
+		res, runErr = mgr.Run(ctx, w)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
+	// Flush everything the run produced — journal, traces, partial
+	// result — before deciding the exit code, so an interrupted run
+	// still leaves a consistent journal and its outputs behind.
+	if jnl != nil {
+		if cerr := jnl.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "wfm: closing journal:", cerr)
 		}
-		if err := wfm.TraceOf(res).WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace:     %s\n", *tracePath)
 	}
-	writeSpanOutputs(wfm.TraceOf(res), *chromeTrace, *spanLog)
-	printResult(res, *verbose)
+	if res != nil {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := wfm.TraceOf(res).WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace:     %s\n", *tracePath)
+		}
+		writeSpanOutputs(wfm.TraceOf(res), *chromeTrace, *spanLog)
+		printResult(res, *verbose)
+	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "wfm: interrupted; resume with -resume and the same -journal")
+			os.Exit(130)
+		}
+		fatal(runErr)
+	}
 }
 
 // startTelemetry serves the live telemetry plane in the background:
@@ -243,6 +327,10 @@ func printResult(res *wfm.Result, verbose bool) {
 	fmt.Printf("functions: %d (+header/tail)\n", len(res.Tasks)-2)
 	fmt.Printf("phases:    %d\n", len(res.Phases)-2)
 	fmt.Printf("makespan:  %.2f s (wall %v)\n", res.Makespan, res.Wall)
+	if r := res.Resume; r != nil {
+		fmt.Printf("resume:    %d recorded completed, %d invocations skipped, %d re-executed (outputs vanished)\n",
+			r.RecordedCompleted, r.SkippedInvocations, r.Reexecuted)
+	}
 	var queue time.Duration
 	n := 0
 	for name, tr := range res.Tasks {

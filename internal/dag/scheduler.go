@@ -162,6 +162,44 @@ func (s *Scheduler) TakeReady() []string {
 	return s.sortedNames(ids)
 }
 
+// SeedCompletedIDs marks ids completed before execution begins — the
+// resume path: a recovered journal's done-set is folded in so the ready
+// frontier starts exactly where the crashed run stopped. Children whose
+// parents are all seeded become ready. Must be called before any
+// TakeReadyIDs/CompleteID/FailID activity; it is an error to seed a
+// vertex twice or after execution has started (a running or terminal
+// vertex).
+func (s *Scheduler) SeedCompletedIDs(ids []int32) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= s.c.Len() {
+			return fmt.Errorf("dag: SeedCompletedIDs: id %d out of range", id)
+		}
+		switch s.state[id] {
+		case StateReady:
+			s.dropReady(id)
+		case StatePending:
+		default:
+			return fmt.Errorf("dag: SeedCompletedIDs(%q): vertex is %s", s.c.Name(id), s.state[id])
+		}
+		s.state[id] = StateCompleted
+		s.terminal++
+		s.completed++
+	}
+	// Parent counts second, so a seeded child is never re-readied by its
+	// seeded parent regardless of the order ids arrived in.
+	for _, id := range ids {
+		for _, c := range s.c.Children(id) {
+			s.remaining[c]--
+			if s.remaining[c] == 0 && s.state[c] == StatePending {
+				s.state[c] = StateReady
+				s.ready = append(s.ready, c)
+			}
+		}
+	}
+	sort.Slice(s.ready, func(i, k int) bool { return s.ready[i] < s.ready[k] })
+	return nil
+}
+
 // CompleteID reports that id finished successfully and returns the IDs
 // that became ready as a result, in ID order. The returned vertices are
 // marked running (as if taken), so the caller can dispatch them

@@ -219,3 +219,85 @@ func TestSchedulerMatchesLevels(t *testing.T) {
 		t.Fatalf("completed %d of %d vertices", len(completed), g.Len())
 	}
 }
+
+func TestSchedulerSeedCompleted(t *testing.T) {
+	// Diamond a -> {b, c} -> d with a and b already done (a recovered
+	// journal): c must be the only ready vertex, and completing it must
+	// release d without b ever running again.
+	s, err := NewScheduler(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int32, 2)
+	for i, name := range []string{"a", "b"} {
+		id, ok := s.CSR().ID(name)
+		if !ok {
+			t.Fatalf("no id for %s", name)
+		}
+		ids[i] = id
+	}
+	if err := s.SeedCompletedIDs(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ready(); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("ready after seed = %v, want [c]", got)
+	}
+	if s.Completed() != 2 || s.Remaining() != 2 {
+		t.Fatalf("completed=%d remaining=%d after seed", s.Completed(), s.Remaining())
+	}
+	newly, err := s.Complete("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(newly, []string{"d"}) {
+		t.Fatalf("completing c released %v, want [d]", newly)
+	}
+	if _, err := s.Complete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatalf("scheduler not drained: %d remaining", s.Remaining())
+	}
+}
+
+func TestSchedulerSeedWholeGraph(t *testing.T) {
+	// Resuming a run that had already finished: every vertex seeded, the
+	// scheduler is immediately done and the ready set stays empty.
+	s, err := NewScheduler(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int32, s.CSR().Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if err := s.SeedCompletedIDs(all); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatalf("fully-seeded scheduler not done: %d remaining", s.Remaining())
+	}
+	if got := s.TakeReadyIDs(); len(got) != 0 {
+		t.Fatalf("fully-seeded scheduler has ready set %v", got)
+	}
+}
+
+func TestSchedulerSeedErrors(t *testing.T) {
+	s, err := NewScheduler(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SeedCompletedIDs([]int32{99}); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+	a, _ := s.CSR().ID("a")
+	if err := s.SeedCompletedIDs([]int32{a, a}); err == nil {
+		t.Fatal("double seed accepted")
+	}
+	s2, _ := NewScheduler(diamondGraph(t))
+	s2.TakeReadyIDs()
+	a2, _ := s2.CSR().ID("a")
+	if err := s2.SeedCompletedIDs([]int32{a2}); err == nil {
+		t.Fatal("seeding a running vertex accepted")
+	}
+}

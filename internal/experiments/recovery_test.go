@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRecoveryCampaign is the CI-sized version of the crash/resume
+// acceptance experiment: small workflow, one randomized crash point per
+// cell, all four {scheduling} x {faults} cells. Every trial must
+// converge to the reference drive state with zero duplicate invocations
+// of journal-recorded tasks.
+func TestRecoveryCampaign(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	trials, err := Recovery(ctx, RecoveryConfig{
+		Tasks:  60,
+		Width:  12,
+		Trials: 1,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4; len(trials) != want {
+		t.Fatalf("got %d trials, want %d", len(trials), want)
+	}
+	for _, tr := range trials {
+		if !tr.DriveMatch {
+			t.Errorf("%s faults=%t trial %d (crash after %d): resumed drive state diverged from reference",
+				tr.Scheduling, tr.Faults, tr.Trial, tr.CrashAfter)
+		}
+		if tr.DuplicateInvocations != 0 {
+			t.Errorf("%s faults=%t trial %d: %d recovered task(s) were invoked again after resume",
+				tr.Scheduling, tr.Faults, tr.Trial, tr.DuplicateInvocations)
+		}
+		if tr.RecordedCompleted == 0 {
+			t.Errorf("%s faults=%t trial %d: journal recorded no completions before a crash at %d",
+				tr.Scheduling, tr.Faults, tr.Trial, tr.CrashAfter)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command gencorpus regenerates the checked-in seed corpus for
+// FuzzJournalReader (internal/journal/testdata/fuzz/FuzzJournalReader).
+// The seeds cover the shapes a crash can leave on disk — a clean
+// journal, a torn tail, a flipped bit, an absurd length prefix, and
+// plain garbage — so the fuzz target exercises them on every normal
+// `go test` run, not only under -fuzz.
+//
+// Usage: go run ./internal/journal/gencorpus
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+var (
+	magic      = []byte("wfjrnl01")
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+func record(kind byte, data []byte) []byte {
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(data)))
+	hdr[8] = kind
+	crc := crc32.Checksum(hdr[8:9], castagnoli)
+	crc = crc32.Update(crc, castagnoli, data)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	return append(hdr[:], data...)
+}
+
+func main() {
+	valid := append([]byte(nil), magic...)
+	for i := 0; i < 3; i++ {
+		valid = append(valid, record(byte(1+i), []byte(fmt.Sprintf("payload-%04d", i)))...)
+	}
+	torn := append([]byte(nil), valid[:len(valid)-5]...)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(magic)+9+2] ^= 0x10
+	huge := append([]byte(nil), magic...)
+	huge = binary.LittleEndian.AppendUint32(huge, 0xFFFFFFFF)
+	huge = append(huge, 0, 0, 0, 0, 1)
+
+	seeds := map[string][]byte{
+		"empty":       {},
+		"magic-only":  magic,
+		"valid":       valid,
+		"torn-tail":   torn,
+		"bit-flip":    flipped,
+		"huge-length": huge,
+		"garbage":     []byte("not a journal at all"),
+	}
+	dir := filepath.Join("internal", "journal", "testdata", "fuzz", "FuzzJournalReader")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds to %s\n", len(seeds), dir)
+}

@@ -1,0 +1,152 @@
+package wfformat
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+)
+
+// Hash is a workflow content fingerprint.
+type Hash [32]byte
+
+// String renders the fingerprint as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether the fingerprint is unset.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// ParseHash decodes the hex form produced by String.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(h) {
+		return Hash{}, errParseHash(s, err)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+func errParseHash(s string, err error) error {
+	if err != nil {
+		return fmt.Errorf("wfformat: parsing fingerprint %q: %v", s, err)
+	}
+	return fmt.Errorf("wfformat: fingerprint %q: want %d hex bytes", s, len(Hash{}))
+}
+
+// Fingerprint computes a canonical content hash of the workflow: the
+// same logical workflow always hashes the same regardless of task map
+// iteration order, slice ordering of parents/children/files/inputs, or
+// JSON formatting. It covers the workflow name and, per task, the
+// fields that define *what runs and how tasks relate*: type, category,
+// cores, runtime, program, the WfBench argument block, the dependency
+// edges, and the file set with sizes.
+//
+// Deployment- and instance-scoped metadata is deliberately excluded —
+// api_url (changes per platform deployment), task ID and StartedAt
+// (assigned per run), and the workflow's CreatedAt/Description — so a
+// journal written against one deployment can be resumed against
+// another that serves the same workflow.
+func Fingerprint(w *Workflow) Hash {
+	d := digester{h: sha256.New()}
+	d.str(w.Name)
+	names := w.TaskNames() // sorted
+	d.num(uint64(len(names)))
+	for _, name := range names {
+		t := w.Tasks[name]
+		d.str(t.Name)
+		d.str(t.Type)
+		d.str(t.Category)
+		d.num(uint64(t.Cores))
+		d.f64(t.RuntimeInSeconds)
+		d.str(t.Command.Program)
+		d.num(uint64(len(t.Command.Arguments)))
+		for _, a := range t.Command.Arguments {
+			d.str(a.Name)
+			d.f64(a.PercentCPU)
+			d.f64(a.CPUWork)
+			d.num(uint64(a.MemBytes))
+			d.str(a.Workdir)
+			d.strs(sortedCopy(a.Inputs))
+			outs := make([]string, 0, len(a.Out))
+			for k := range a.Out {
+				outs = append(outs, k)
+			}
+			sort.Strings(outs)
+			d.num(uint64(len(outs)))
+			for _, k := range outs {
+				d.str(k)
+				d.num(uint64(a.Out[k]))
+			}
+		}
+		d.strs(sortedCopy(t.Parents))
+		d.strs(sortedCopy(t.Children))
+		files := t.Files
+		if !sort.SliceIsSorted(files, fileLess(files)) {
+			files = append([]File(nil), t.Files...)
+			sort.Slice(files, fileLess(files))
+		}
+		d.num(uint64(len(files)))
+		for _, f := range files {
+			d.str(f.Link)
+			d.str(f.Name)
+			d.num(uint64(f.SizeInBytes))
+		}
+	}
+	var h Hash
+	d.h.Sum(h[:0])
+	return h
+}
+
+// sortedCopy returns s in sorted order, copying only when it has to —
+// workflow slices are usually already sorted, and Fingerprint runs on
+// the hot path of every journaled Run.
+func sortedCopy(s []string) []string {
+	if sort.StringsAreSorted(s) {
+		return s
+	}
+	c := append([]string(nil), s...)
+	sort.Strings(c)
+	return c
+}
+
+// fileLess orders files by (link, name) for canonical hashing.
+func fileLess(files []File) func(i, k int) bool {
+	return func(i, k int) bool {
+		if files[i].Link != files[k].Link {
+			return files[i].Link < files[k].Link
+		}
+		return files[i].Name < files[k].Name
+	}
+}
+
+// digester frames every field as length-prefixed bytes so adjacent
+// strings can never collide ("ab","c" vs "a","bc").
+type digester struct {
+	h       hash.Hash
+	buf     [10]byte
+	scratch []byte // reused for string→byte conversion, zero-alloc steady state
+}
+
+func (d *digester) num(v uint64) {
+	n := binary.PutUvarint(d.buf[:], v)
+	d.h.Write(d.buf[:n])
+}
+
+func (d *digester) f64(v float64) { d.num(math.Float64bits(v)) }
+
+func (d *digester) str(s string) {
+	d.num(uint64(len(s)))
+	d.scratch = append(d.scratch[:0], s...)
+	d.h.Write(d.scratch)
+}
+
+func (d *digester) strs(s []string) {
+	d.num(uint64(len(s)))
+	for _, v := range s {
+		d.str(v)
+	}
+}

@@ -44,7 +44,7 @@ type completion struct {
 // in flight or queued. On context cancellation the loop stops
 // dispatching, drains the workers, records partial TaskResults, and
 // returns ctx.Err() with no goroutines left behind.
-func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan) (*Result, error) {
+func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan, st *runState) (*Result, error) {
 	sched := dag.NewSchedulerCSR(csr)
 
 	res := &Result{
@@ -57,6 +57,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 	defer func() { res.Breakers = rs.take() }()
 	root, finishTrace := m.startRunTrace(w.Name, res)
 	defer finishTrace()
+	m.traceReplay(root, st)
 	mon := m.opts.Monitor
 	mon.runStarted(w.Name, ScheduleDependency, p.len())
 	if l := m.opts.Logger; l != nil {
@@ -74,12 +75,28 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 	}
 	n := p.len()
 
+	// Fold the journal's verified done-set into the scheduler before any
+	// dispatch: recovered tasks are recorded as results, never invoked,
+	// and the ready frontier starts where the crashed run stopped.
+	if st.rec != nil && len(st.rec.doneIDs) > 0 {
+		if err := sched.SeedCompletedIDs(st.rec.doneIDs); err != nil {
+			return res, fmt.Errorf("wfm: seeding resume state: %w", err)
+		}
+		for _, id := range st.rec.doneIDs {
+			res.Tasks[p.tasks[id].Name] = recoveredResult(p, csr, st, id)
+		}
+		n -= len(st.rec.doneIDs)
+	}
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	workers := m.opts.MaxParallel
 	if workers <= 0 || workers > n {
 		workers = n
+	}
+	if workers == 0 {
+		workers = 1 // fully-recovered run: the loop below drains instantly
 	}
 	// Both channels hold every task, so neither workers nor the event
 	// loop can ever block on the other side having gone away.
@@ -92,7 +109,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 		go func() {
 			defer wg.Done()
 			for item := range dispatch {
-				completions <- completion{item.id, m.runTask(runCtx, p, csr, item, start, rs, root)}
+				completions <- completion{item.id, m.runTask(runCtx, p, csr, item, start, rs, root, st)}
 			}
 		}()
 	}
@@ -142,16 +159,18 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 			now := time.Since(start)
 			for _, sid := range skipped {
 				accounted++
-				st := p.tasks[sid]
+				task := p.tasks[sid]
 				mon.taskSkipped()
+				err := fmt.Errorf("wfm: %s: skipped: ancestor %s failed", task.Name, c.tr.Name)
+				st.rj.taskFailed(sid, true, err)
 				record(&TaskResult{
-					Name:     st.Name,
-					Category: st.Category,
+					Name:     task.Name,
+					Category: task.Category,
 					Phase:    int(csr.Level(sid)) + 1,
 					Ready:    now,
 					Start:    now,
 					End:      now,
-					Err:      fmt.Errorf("wfm: %s: skipped: ancestor %s failed", st.Name, c.tr.Name),
+					Err:      err,
 				})
 			}
 			continue
@@ -202,7 +221,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 
 // runTask executes one dispatched task on a worker: wait for its input
 // files (event-driven on drives that support watching), then invoke.
-func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, item dispatchItem, start time.Time, rs *resilience, root *obs.Span) *TaskResult {
+func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, item dispatchItem, start time.Time, rs *resilience, root *obs.Span, st *runState) *TaskResult {
 	task := p.tasks[item.id]
 	tr := &TaskResult{
 		Name:     task.Name,
@@ -216,6 +235,7 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 	ts.SetStart(start.Add(item.ready))
 	finish := func() {
 		tr.End = time.Since(start)
+		st.taskDone(item.id, p, tr)
 		mon.taskFinished(tr.End-tr.Start, tr.Err != nil)
 		m.finishTaskSpan(ts, tr)
 	}
@@ -236,6 +256,7 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 			return tr
 		}
 	}
+	st.rj.taskStarted(item.id)
 	tr.Start = time.Since(start)
 	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, item.id, rs, ts)
 	finish()
@@ -259,5 +280,5 @@ func (m *Manager) RunEager(ctx context.Context, w *wfformat.Workflow) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return m.runDependency(ctx, w, csr, p)
+	return m.runDependency(ctx, w, csr, p, &runState{afterDone: m.opts.AfterTaskDone})
 }

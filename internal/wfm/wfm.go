@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"wfserverless/internal/dag"
+	"wfserverless/internal/journal"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
@@ -172,6 +173,20 @@ type Options struct {
 	// phase dispatch, task failures, breaker transitions). Nil disables
 	// logging.
 	Logger *slog.Logger
+	// Journal, when set, makes the run durable: lifecycle events (run
+	// header with workflow fingerprint, task started/completed/failed,
+	// run end) are appended to the write-ahead log so a crashed run can
+	// be continued with Resume. Run requires the journal to be empty (a
+	// fresh directory); Resume requires it to hold a matching run. Nil
+	// disables journaling; the hot path is identical.
+	Journal *journal.Journal
+	// AfterTaskDone, when set, is called synchronously after each task
+	// completes successfully (and after its completion is journaled),
+	// with the cumulative count of tasks completed by this process. It
+	// exists for crash-injection harnesses (-crash-after-tasks) and
+	// progress hooks; it must be fast and safe for concurrent callers'
+	// view of the count to be monotonic but unordered.
+	AfterTaskDone func(completed int)
 }
 
 // Manager executes workflows.
@@ -241,8 +256,12 @@ type TaskResult struct {
 	// made for the task, including attempts shed by an open circuit
 	// breaker; 1 means it succeeded (or failed terminally) first try.
 	Attempts int
-	Response *wfbench.Response
-	Err      error
+	// Recovered marks a task restored from the run journal on Resume:
+	// it completed in a previous process and was not re-invoked. Its
+	// timings are zero and Response is nil.
+	Recovered bool
+	Response  *wfbench.Response
+	Err       error
 }
 
 // QueueWait returns the ready→start queueing latency: how long the task
@@ -281,6 +300,9 @@ type Result struct {
 	// the run, in time order (empty unless Options.Breaker is enabled
 	// and an endpoint misbehaved).
 	Breakers []BreakerTransition
+	// Resume summarizes what a resumed run recovered from its journal;
+	// nil for fresh runs.
+	Resume *ResumeReport
 	// TraceID identifies the run's distributed trace when the run was
 	// sampled (Options.Tracer set and the root span recorded).
 	TraceID string
@@ -307,23 +329,133 @@ func (e *PhaseError) Unwrap() error { return e.Errs[0] }
 
 // Run executes the workflow under the configured Scheduling mode. Every
 // task must carry an api_url (set by a translator); Run validates the
-// workflow first.
+// workflow first. With Options.Journal set the journal must be empty —
+// continuing a previous run is Resume's job.
 func (m *Manager) Run(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
-	if err := m.validateRunnable(w); err != nil {
+	csr, p, err := m.prepare(w)
+	if err != nil {
 		return nil, err
+	}
+	if j := m.opts.Journal; j != nil && len(j.Records()) > 0 {
+		return nil, errors.New("wfm: journal already holds a run; use Resume (or point -journal at a fresh directory)")
+	}
+	return m.run(ctx, w, csr, p, nil)
+}
+
+// Resume continues a journaled run that a previous process started: it
+// replays Options.Journal, validates the recorded workflow fingerprint
+// against w, verifies that every recorded-completed task's outputs are
+// still on the shared drive (tasks whose products vanished re-run), and
+// executes only what remains. An empty journal degenerates to a fresh
+// Run. The Result covers the whole workflow — recovered tasks appear
+// with Recovered=true and zero-duration timings — and Result.Resume
+// reports how many invocations the journal saved.
+func (m *Manager) Resume(ctx context.Context, w *wfformat.Workflow) (*Result, error) {
+	j := m.opts.Journal
+	if j == nil {
+		return nil, errors.New("wfm: Resume needs Options.Journal")
+	}
+	csr, p, err := m.prepare(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.Records()) == 0 {
+		return m.run(ctx, w, csr, p, nil)
+	}
+	rec, err := m.recoverRun(w, p.len(), j.Records(), j.Torn())
+	if err != nil {
+		return nil, err
+	}
+	m.verifyOutputs(rec)
+	return m.run(ctx, w, csr, p, rec)
+}
+
+// prepare validates and compiles the workflow into its CSR and
+// invocation plan — the shared front half of Run and Resume.
+func (m *Manager) prepare(w *wfformat.Workflow) (*dag.CSR, *invocationPlan, error) {
+	if err := m.validateRunnable(w); err != nil {
+		return nil, nil, err
 	}
 	csr, tasks, err := w.Compile()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p, err := newInvocationPlan(tasks)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	return csr, p, nil
+}
+
+// run drives one execution (fresh or resumed): it opens the journal's
+// run framing — header for fresh runs, resume marker for recovered ones
+// — hands the run state to the scheduling loop, and closes the framing
+// with a run-end record whose status reflects how the loop exited.
+func (m *Manager) run(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan, rec *recovery) (*Result, error) {
+	st := &runState{rec: rec, afterDone: m.opts.AfterTaskDone}
+	if j := m.opts.Journal; j != nil {
+		var prior []int32
+		if rec != nil {
+			prior = rec.attempts
+		}
+		st.rj = newRunJournal(j, p.len(), prior)
+		if rec == nil {
+			h := &runHeader{
+				Version:     journalRunHeaderVersion,
+				Fingerprint: wfformat.Fingerprint(w),
+				OptionsHash: m.opts.optionsHash(),
+				Scheduling:  m.opts.Scheduling,
+				TaskCount:   p.len(),
+				Workflow:    w.Name,
+				StartedUnix: time.Now().Unix(),
+			}
+			st.rj.append(recRunHeader, h.encode())
+		} else {
+			st.rj.append(recRunResumed, encodeRunResumed(
+				rec.report.RecordedCompleted, rec.report.SkippedInvocations, rec.report.Reexecuted))
+		}
+		// The framing record must survive even an immediate crash: sync
+		// it through before the first task is dispatched.
+		if err := j.Sync(); err != nil {
+			return nil, fmt.Errorf("wfm: journal: %w", err)
+		}
+	}
+
+	var res *Result
+	var err error
 	if m.opts.Scheduling == ScheduleDependency {
-		return m.runDependency(ctx, w, csr, p)
+		res, err = m.runDependency(ctx, w, csr, p, st)
+	} else {
+		res, err = m.runPhases(ctx, w, csr, p, st)
 	}
-	return m.runPhases(ctx, w, csr, p)
+	if res != nil {
+		if rec != nil {
+			r := rec.report
+			res.Resume = &r
+			if rec.header.OptionsHash != m.opts.optionsHash() {
+				res.Warnings = append(res.Warnings,
+					"resume: options differ from the original run (journal records a different options hash)")
+			}
+		}
+		if jerr := st.rj.takeError(); jerr != nil {
+			res.Warnings = append(res.Warnings, fmt.Sprintf("journal: appends failing, run no longer durable: %v", jerr))
+		}
+	}
+	if st.rj != nil {
+		status := runEndOK
+		switch {
+		case ctx.Err() != nil:
+			status = runEndCancelled
+		case err != nil:
+			status = runEndFailed
+		}
+		failed := 0
+		if res != nil {
+			failed = len(res.Failed)
+		}
+		st.rj.runEnd(status, failed)
+	}
+	return res, err
 }
 
 // validateRunnable checks that the workflow is executable: structurally
@@ -384,8 +516,43 @@ func levelPhases(c *dag.CSR) [][]string {
 	return out
 }
 
+// recoveredResult renders a journal-recovered task as a TaskResult:
+// completed in a previous process, never re-invoked here.
+func recoveredResult(p *invocationPlan, csr *dag.CSR, st *runState, id int32) *TaskResult {
+	task := p.tasks[id]
+	tr := &TaskResult{
+		Name:      task.Name,
+		Category:  task.Category,
+		Phase:     int(csr.Level(id)) + 1,
+		Recovered: true,
+	}
+	if st.rec != nil {
+		tr.Attempts = int(st.rec.attempts[id])
+	}
+	return tr
+}
+
+// traceReplay annotates the run's root span with journal context and,
+// on resumed runs, emits a journal:replay child span carrying the
+// recovery counts.
+func (m *Manager) traceReplay(root *obs.Span, st *runState) {
+	if root == nil {
+		return
+	}
+	if st.rj != nil {
+		root.SetAttr("journal", "on")
+	}
+	if st.rec != nil {
+		s := m.opts.Tracer.StartChildOf(root, "journal:replay")
+		s.SetInt("recorded_completed", st.rec.report.RecordedCompleted)
+		s.SetInt("skipped_invocations", st.rec.report.SkippedInvocations)
+		s.SetInt("reexecuted", st.rec.report.Reexecuted)
+		s.Finish()
+	}
+}
+
 // runPhases is the paper's phase-barrier loop (Section III-C).
-func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan) (*Result, error) {
+func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan, st *runState) (*Result, error) {
 	levels := csr.LevelSlices()
 	phases := levelPhases(csr)
 
@@ -404,6 +571,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 	defer func() { res.Breakers = rs.take() }()
 	root, finishTrace := m.startRunTrace(w.Name, res)
 	defer finishTrace()
+	m.traceReplay(root, st)
 	mon := m.opts.Monitor
 	mon.runStarted(w.Name, SchedulePhases, p.len())
 	if l := m.opts.Logger; l != nil {
@@ -432,12 +600,30 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		// Partition the level: tasks the journal proved completed (with
+		// outputs still on the drive) are recorded as recovered and never
+		// re-invoked; only the remainder dispatches.
+		toRun := level
+		if st.rec != nil {
+			toRun = make([]int32, 0, len(level))
+			for _, id := range level {
+				if st.recoveredID(id) {
+					record(recoveredResult(p, csr, st, id))
+				} else {
+					toRun = append(toRun, id)
+				}
+			}
+			if len(toRun) == 0 {
+				res.Phases = append(res.Phases, phases[pi])
+				continue
+			}
+		}
 		if l := m.opts.Logger; l != nil {
-			l.Debug("dispatching phase", "phase", pi+1, "tasks", len(level))
+			l.Debug("dispatching phase", "phase", pi+1, "tasks", len(toRun))
 		}
 		// Check that every input of the phase is on the shared drive,
 		// waiting briefly for stragglers from the previous phase.
-		if err := m.awaitInputs(ctx, p, level); err != nil {
+		if err := m.awaitInputs(ctx, p, toRun); err != nil {
 			if !m.opts.ContinueOnError {
 				return res, fmt.Errorf("wfm: phase %d: %w", pi+1, err)
 			}
@@ -449,10 +635,10 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 		var wg sync.WaitGroup
 		// One contiguous allocation for the whole phase instead of one
 		// heap object per task — wide fan-out phases dispatch hundreds.
-		results := make([]TaskResult, len(level))
+		results := make([]TaskResult, len(toRun))
 		ready := time.Since(start)
-		mon.taskReady(len(level))
-		for i, id := range level {
+		mon.taskReady(len(toRun))
+		for i, id := range toRun {
 			wg.Add(1)
 			go func(tr *TaskResult, id int32) {
 				defer wg.Done()
@@ -468,9 +654,11 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 				ts := m.opts.Tracer.StartChildOf(root, task.Name)
 				ts.SetStart(start.Add(ready))
 				mon.taskStarted()
+				st.rj.taskStarted(id)
 				tr.Start = time.Since(start)
 				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, id, rs, ts)
 				tr.End = time.Since(start)
+				st.taskDone(id, p, tr)
 				mon.taskFinished(tr.End-tr.Start, tr.Err != nil)
 				m.finishTaskSpan(ts, tr)
 			}(&results[i], id)
