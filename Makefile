@@ -2,9 +2,13 @@ GO ?= go
 # BENCHTIME tunes the tracked bench suite; CI smoke runs use a short
 # value (e.g. BENCHTIME=1x) so the job bounds on build+vet, not timing.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr3.json
+BENCHOUT ?= BENCH_pr6.json
+# BASELINE is the checked-in reference the regression gate compares
+# fresh runs against; REGRESS_PCT is the tolerated drop before failing.
+BASELINE ?= BENCH_pr6.json
+REGRESS_PCT ?= 10
 
-.PHONY: all build test tier1 check race race-obs race-durable bench bench-all bench-sched vet clean
+.PHONY: all build test tier1 check race race-obs race-durable bench bench-all bench-sched bench-regression vet clean
 
 all: tier1
 
@@ -59,6 +63,18 @@ bench:
 	if [ $$status -ne 0 ]; then rm -f $$tmp; echo "bench: benchmark run failed" >&2; exit 1; fi; \
 	$(GO) run ./cmd/benchfmt -q -o $(BENCHOUT) < $$tmp; \
 	rm -f $$tmp
+
+# bench-regression re-runs the invocation-throughput benchmarks and
+# fails (exit 2 from benchfmt) if invocations/s dropped more than
+# $(REGRESS_PCT)% against the checked-in $(BASELINE). Single-run
+# benchmarks are noisy on small machines, hence the generous default.
+bench-regression:
+	@tmp=$$(mktemp) || exit 1; \
+	$(GO) test . -run xxx -bench 'InvocationThroughput' -benchmem -benchtime $(BENCHTIME) > $$tmp 2>&1; \
+	status=$$?; cat $$tmp; \
+	if [ $$status -ne 0 ]; then rm -f $$tmp; echo "bench-regression: benchmark run failed" >&2; exit 1; fi; \
+	$(GO) run ./cmd/benchfmt -baseline $(BASELINE) -regress-metric invocations/s -regress-pct $(REGRESS_PCT) < $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 # bench-all sweeps every benchmark in the repo (paper figures included).
 bench-all:

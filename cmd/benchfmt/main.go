@@ -7,6 +7,19 @@
 //
 //	go test -bench Scheduler -benchmem ./internal/dag | benchfmt -o BENCH_pr3.json
 //
+// With -baseline it also diffs the fresh run against a previously
+// written report, printing old/new/Δ% per metric. -regress-metric plus
+// -regress-pct turn the diff into a gate: the process exits 2 when the
+// named metric regresses beyond the threshold on any benchmark present
+// in both runs — the CI bench-regression job is exactly
+//
+//	go test -bench InvocationThroughput -run XXX . \
+//	  | benchfmt -baseline BENCH_pr6.json -regress-metric inv/s -regress-pct 10
+//
+// Direction is inferred from the unit: rates ending in "/s" are
+// higher-is-better, everything else (ns/op, B/op, allocs/op,
+// wall_ms/run) lower-is-better.
+//
 // Input lines are echoed to stderr so a piped run still shows live
 // progress.
 package main
@@ -16,8 +29,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -43,8 +58,11 @@ type Report struct {
 
 func main() {
 	var (
-		out   = flag.String("o", "", "output file (default stdout)")
-		quiet = flag.Bool("q", false, "do not echo input lines to stderr")
+		out           = flag.String("o", "", "output file (default stdout)")
+		quiet         = flag.Bool("q", false, "do not echo input lines to stderr")
+		baseline      = flag.String("baseline", "", "baseline report JSON to diff the fresh run against")
+		regressMetric = flag.String("regress-metric", "", "metric name to gate on (with -baseline); exit 2 on regression")
+		regressPct    = flag.Float64("regress-pct", 10, "regression threshold in percent for -regress-metric")
 	)
 	flag.Parse()
 
@@ -88,12 +106,98 @@ func main() {
 	payload = append(payload, '\n')
 	if *out == "" {
 		os.Stdout.Write(payload)
+	} else {
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchfmt: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+
+	if *baseline == "" {
+		if *regressMetric != "" {
+			fatal(fmt.Errorf("-regress-metric needs -baseline"))
+		}
 		return
 	}
-	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+	base, err := loadReport(*baseline)
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchfmt: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	// The delta table rides stdout unless the JSON document does.
+	tw := os.Stdout
+	if *out == "" {
+		tw = os.Stderr
+	}
+	regressed := printDeltas(tw, base, &rep, *regressMetric, *regressPct)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchfmt: %s regressed >%.0f%% vs %s on: %s\n",
+			*regressMetric, *regressPct, *baseline, strings.Join(regressed, ", "))
+		os.Exit(2)
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := new(Report)
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// higherIsBetter infers a metric's good direction from its unit: rates
+// ("/s" suffixes like inv/s, tasks/s) improve upward, everything else
+// (ns/op, B/op, allocs/op, wall_ms/run) improves downward.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/s")
+}
+
+// printDeltas writes the old/new/Δ% table for every benchmark+metric
+// present in both reports and returns the benchmarks where gateMetric
+// regressed beyond gatePct percent.
+func printDeltas(w io.Writer, base, cur *Report, gateMetric string, gatePct float64) []string {
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var regressed []string
+	fmt.Fprintf(w, "%-44s %-12s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, b := range cur.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %-12s %14s %14s %8s\n", b.Name, "-", "-", "(new)", "-")
+			continue
+		}
+		metrics := make([]string, 0, len(b.Metrics))
+		for m := range b.Metrics {
+			if _, ok := old.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov, nv := old.Metrics[m], b.Metrics[m]
+			var pct float64
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			fmt.Fprintf(w, "%-44s %-12s %14.2f %14.2f %+7.1f%%\n", b.Name, m, ov, nv, pct)
+			if m != gateMetric || gateMetric == "" || ov == 0 {
+				continue
+			}
+			loss := -pct // rates regress when they fall
+			if !higherIsBetter(m) {
+				loss = pct // costs regress when they rise
+			}
+			if loss > gatePct {
+				regressed = append(regressed, b.Name)
+			}
+		}
+	}
+	return regressed
 }
 
 // parseBenchLine parses one `BenchmarkName-P  N  v1 u1  v2 u2 ...`

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	line := "BenchmarkSchedulerThroughputCSR/random_100000-8 \t 3\t 5319091 ns/op\t 18800205 tasks/s\t 1204752 B/op\t 12 allocs/op"
@@ -43,5 +47,52 @@ func TestParseBenchLineKeepsHyphenatedNames(t *testing.T) {
 	// Only a numeric -P suffix is stripped, not hyphens inside names.
 	if b.Name != "Foo/sub-case" {
 		t.Fatalf("name = %q", b.Name)
+	}
+}
+
+func report(bs ...Benchmark) *Report { return &Report{Benchmarks: bs} }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestPrintDeltasDirectionAware(t *testing.T) {
+	base := report(
+		bench("Throughput", map[string]float64{"inv/s": 6000, "ns/op": 100}),
+		bench("Latency", map[string]float64{"ns/op": 100}),
+	)
+	// Rate fell 50%: regression for a "/s" metric.
+	cur := report(
+		bench("Throughput", map[string]float64{"inv/s": 3000, "ns/op": 100}),
+		bench("Latency", map[string]float64{"ns/op": 100}),
+	)
+	var buf strings.Builder
+	if got := printDeltas(&buf, base, cur, "inv/s", 10); len(got) != 1 || got[0] != "Throughput" {
+		t.Fatalf("regressed = %v, want [Throughput]", got)
+	}
+	if !strings.Contains(buf.String(), "Throughput") || !strings.Contains(buf.String(), "-50.0%") {
+		t.Fatalf("table missing delta:\n%s", buf.String())
+	}
+
+	// Rate rose 10x: an improvement, not a regression.
+	cur = report(bench("Throughput", map[string]float64{"inv/s": 60000}))
+	if got := printDeltas(io.Discard, base, cur, "inv/s", 10); len(got) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", got)
+	}
+
+	// Cost metrics regress upward.
+	cur = report(bench("Latency", map[string]float64{"ns/op": 150}))
+	if got := printDeltas(io.Discard, base, cur, "ns/op", 10); len(got) != 1 || got[0] != "Latency" {
+		t.Fatalf("regressed = %v, want [Latency]", got)
+	}
+	// Within threshold: no flag.
+	cur = report(bench("Latency", map[string]float64{"ns/op": 105}))
+	if got := printDeltas(io.Discard, base, cur, "ns/op", 10); len(got) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", got)
+	}
+	// Benchmarks absent from the baseline never gate.
+	cur = report(bench("Fresh", map[string]float64{"inv/s": 1}))
+	if got := printDeltas(io.Discard, base, cur, "inv/s", 10); len(got) != 0 {
+		t.Fatalf("new benchmark flagged: %v", got)
 	}
 }

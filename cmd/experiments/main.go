@@ -38,6 +38,13 @@ func main() {
 		schedule  = flag.String("schedule", "phases", "workflow-manager scheduling: phases (paper) or dependency (event-driven)")
 		csvPath   = flag.String("csv", "", "also append suite CSVs to this file")
 
+		// Batched invocation for the suites that exercise the manager's
+		// transport (resilience, recovery, scale).
+		batchOn     = flag.Bool("batch", false, "run the resilience/recovery/scale suites through the batched invocation pipeline")
+		batchTasks  = flag.Int("batch-tasks", 0, "max sub-tasks per batch (0: 64)")
+		batchBytes  = flag.Int("batch-bytes", 0, "max summed payload bytes per batch (0: 1 MiB)")
+		batchLinger = flag.Float64("batch-linger", 0, "batch linger window, nominal seconds (0: 0.005)")
+
 		// Fault profile for -suite resilience.
 		faultError  = flag.Float64("fault-error-rate", 0.3, "resilience suite: probability of an injected 500")
 		faultReject = flag.Float64("fault-reject-rate", 0.05, "resilience suite: probability of an injected 429")
@@ -98,6 +105,13 @@ func main() {
 	tn := experiments.DefaultTunables()
 	tn.TimeScale = *timeScale
 	tn.Scheduling = mode
+	batching := wfm.BatchOptions{
+		Enabled:  *batchOn,
+		MaxTasks: *batchTasks,
+		MaxBytes: *batchBytes,
+		Linger:   *batchLinger,
+	}
+	tn.Batching = batching
 	sz := experiments.Sizes{Small: *small, Large: *large, Huge: *huge}
 	ctx := context.Background()
 
@@ -144,7 +158,7 @@ func main() {
 	case "concurrent":
 		runConcurrent(ctx, sz, *seed, tn)
 	case "resilience":
-		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed, *traceSample, *traceDir)
+		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed, *traceSample, *traceDir, batching)
 	case "design":
 		printDesign()
 	case "table2":
@@ -160,7 +174,7 @@ func main() {
 	case "fig7":
 		runSuite("fig7", experiments.Figure7)
 	case "recovery":
-		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale)
+		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale, batching)
 	case "scale":
 		runScale(ctx, experiments.ScaleConfig{
 			Tasks:       *scaleTasks,
@@ -169,6 +183,7 @@ func main() {
 			Scheduling:  mode,
 			MaxParallel: *scaleParallel,
 			Seed:        *seed,
+			Batching:    batching,
 			TraceSample: *traceSample,
 		}, *traceDir)
 	case "all":
@@ -264,13 +279,14 @@ func formatBytes(n int64) string {
 // kill/resume cycles across both scheduling modes, with and without
 // injected faults, asserting the resumed drive state matches an
 // uninterrupted reference and no recorded task runs twice.
-func runRecovery(ctx context.Context, tasks, trials int, seed int64, timeScale float64) {
+func runRecovery(ctx context.Context, tasks, trials int, seed int64, timeScale float64, batching wfm.BatchOptions) {
 	fmt.Printf("== Recovery: %d-task workflows, %d randomized crash points per cell ==\n", tasks, trials)
 	ts, err := experiments.Recovery(ctx, experiments.RecoveryConfig{
 		Tasks:     tasks,
 		Trials:    trials,
 		Seed:      seed,
 		TimeScale: timeScale / 10, // recovery cells run 4x2 full workflows; keep the campaign snappy
+		Batching:  batching,
 	})
 	if err != nil {
 		fatal(err)
@@ -322,12 +338,13 @@ func runConcurrent(ctx context.Context, sz experiments.Sizes, seed int64, tn exp
 // runResilience executes the flaky-endpoint experiment: a workflow
 // against a fault-injecting WfBench service, with retries, backoff, and
 // the circuit breaker absorbing the chaos, in both scheduling modes.
-func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64, traceSample float64, traceDir string) {
+func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64, traceSample float64, traceDir string, batching wfm.BatchOptions) {
 	cfg := experiments.ResilienceConfig{
 		Recipe:      "blast",
 		NumTasks:    size,
 		Seed:        seed,
 		TimeScale:   timeScale,
+		Batching:    batching,
 		TraceSample: traceSample,
 		Profile: wfbench.FaultProfile{
 			ErrorRate:     errorRate,

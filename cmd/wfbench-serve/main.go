@@ -109,12 +109,14 @@ func main() {
 	}
 	// The telemetry plane (/metrics, /healthz, /debug/pprof) bypasses the
 	// fault injector: an operator watching a chaos run still needs honest
-	// metrics and profiles. Only /wfbench rides through the faults.
+	// metrics and profiles. Only /wfbench and /invoke-batch ride through
+	// the faults.
 	mux := obs.TelemetryMux(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		svc.WriteMetrics(w)
 	})
 	mux.Handle("/wfbench", handler)
+	mux.Handle("/invoke-batch", handler)
 	log.Printf("wfbench-serve: listening on %s, %d workers, workdir %s, keep-mem=%v burn=%v (telemetry: /metrics /healthz /debug/pprof)",
 		*addr, *workers, drive.Root(), *keepMem, *burn)
 	srv := &http.Server{Addr: *addr, Handler: mux}

@@ -66,6 +66,11 @@ func main() {
 		retryBackoffMax = flag.Float64("retry-backoff-max", 0, "backoff ceiling, nominal seconds (0: 30)")
 		taskTimeout     = flag.Float64("task-timeout", 0, "whole-task deadline across all attempts, nominal seconds (0: none)")
 
+		batchOn     = flag.Bool("batch", false, "coalesce same-endpoint invocations into framed /invoke-batch POSTs")
+		batchTasks  = flag.Int("batch-tasks", 0, "max sub-tasks per batch (0: 64)")
+		batchBytes  = flag.Int("batch-bytes", 0, "max summed payload bytes per batch (0: 1 MiB)")
+		batchLinger = flag.Float64("batch-linger", 0, "batch linger window, nominal seconds (0: 0.005)")
+
 		breakerOn        = flag.Bool("breaker", false, "enable the per-endpoint circuit breaker")
 		breakerThreshold = flag.Float64("breaker-threshold", 0, "failure rate that opens the breaker (0: 0.5)")
 		breakerWindow    = flag.Int("breaker-window", 0, "sliding window of attempts per endpoint (0: 20)")
@@ -191,6 +196,12 @@ func main() {
 			FailureThreshold: *breakerThreshold,
 			Window:           *breakerWindow,
 			Cooldown:         *breakerCooldown,
+		},
+		Batching: wfm.BatchOptions{
+			Enabled:  *batchOn,
+			MaxTasks: *batchTasks,
+			MaxBytes: *batchBytes,
+			Linger:   *batchLinger,
 		},
 		Tracer:        tracer,
 		Monitor:       monitor,

@@ -104,6 +104,9 @@ type SessionConfig struct {
 	RetryBackoffMax float64
 	TaskTimeout     float64
 	Breaker         wfm.BreakerOptions
+	// Batching coalesces same-endpoint invocations into framed
+	// /invoke-batch POSTs (see wfm.BatchOptions); disabled by default.
+	Batching wfm.BatchOptions
 
 	// SampleInterval is the telemetry period in nominal seconds; zero
 	// defaults to 1 (the paper's 1 Hz PCP sampling).
@@ -194,6 +197,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		TaskTimeout:     cfg.TaskTimeout,
 		Breaker:         cfg.Breaker,
+		Batching:        cfg.Batching,
 		Tracer:          cfg.Tracer,
 		Monitor:         cfg.Monitor,
 		Logger:          cfg.Logger,

@@ -62,6 +62,11 @@ type RecoveryConfig struct {
 	// shared drive between crash and resume (default 2), exercising the
 	// resume-time output verification path.
 	VanishOutputs int
+	// Batching runs the campaign through the manager's batched
+	// invocation pipeline; the zero-duplicate and drive-convergence
+	// invariants must hold identically, since journaling sits above the
+	// transport.
+	Batching wfm.BatchOptions
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {
@@ -181,18 +186,40 @@ func (e *recoveryEnv) Close() { e.srv.Close() }
 func newRecoveryEnv(cfg RecoveryConfig, faults bool, faultSeed int64) (*recoveryEnv, error) {
 	drive := sharedfs.NewMem()
 	counts := &invocationCounter{n: make(map[string]int)}
+	execOne := func(req *wfbench.Request) *wfbench.Response {
+		for name, size := range req.Out {
+			drive.WriteFile(name, size)
+		}
+		counts.inc(req.Name)
+		return &wfbench.Response{Name: req.Name, OK: true}
+	}
 	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/invoke-batch") {
+			items, err := wfbench.DecodeBatchRequest(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			results := make([]wfbench.BatchResult, len(items))
+			for i, it := range items {
+				var req wfbench.Request
+				if err := json.Unmarshal(it.Body, &req); err != nil {
+					results[i] = wfbench.BatchResult{Status: http.StatusBadRequest, Payload: []byte(err.Error())}
+					continue
+				}
+				payload, _ := json.Marshal(execOne(&req))
+				results[i] = wfbench.BatchResult{Status: http.StatusOK, Payload: payload}
+			}
+			wfbench.WriteBatchResponse(w, results)
+			return
+		}
 		var req wfbench.Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		for name, size := range req.Out {
-			drive.WriteFile(name, size)
-		}
-		counts.inc(req.Name)
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(&wfbench.Response{Name: req.Name, OK: true})
+		json.NewEncoder(w).Encode(execOne(&req))
 	})
 	if faults {
 		p := cfg.Faults
@@ -227,6 +254,7 @@ func recoveryManager(cfg RecoveryConfig, mode wfm.Scheduling, env *recoveryEnv, 
 		Retries:       8,
 		RetryBackoff:  0.2,
 		TaskTimeout:   60,
+		Batching:      cfg.Batching,
 		Journal:       j,
 		AfterTaskDone: afterDone,
 	})

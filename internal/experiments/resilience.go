@@ -46,6 +46,12 @@ type ResilienceConfig struct {
 	InputWait       float64
 	MaxParallel     int
 	Breaker         wfm.BreakerOptions
+	// Batching runs the experiment with the manager's batched
+	// invocation pipeline: the injector then faults individual
+	// sub-tasks inside each batch (per-frame 429/500/hang draws), so
+	// the suite proves a faulted sub-task retries alone while its
+	// batch-mates complete.
+	Batching wfm.BatchOptions
 
 	// TraceSample enables span collection for the runs: the fraction of
 	// workflow roots recorded (1 records everything, 0 disables). The
@@ -101,6 +107,8 @@ type ResilienceMeasurement struct {
 	Scheduling string
 	Workflow   string
 	Tasks      int
+	// Batched marks runs that went through the batching dispatcher.
+	Batched bool
 
 	MakespanS float64
 	Wall      time.Duration
@@ -191,6 +199,7 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		TaskTimeout:     cfg.TaskTimeout,
 		Breaker:         cfg.Breaker,
+		Batching:        cfg.Batching,
 		Tracer:          tracer,
 	})
 	if err != nil {
@@ -206,6 +215,7 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 		Scheduling: mode.String(),
 		Workflow:   res.Workflow,
 		Tasks:      w.Len(),
+		Batched:    cfg.Batching.Enabled,
 		MakespanS:  res.Makespan,
 		Wall:       res.Wall,
 		Failed:     len(res.Failed),

@@ -62,6 +62,10 @@ type Tunables struct {
 	RetryBackoffMax float64
 	TaskTimeout     float64
 	Breaker         wfm.BreakerOptions
+	// Batching coalesces same-endpoint invocations into framed
+	// /invoke-batch POSTs (wfm.BatchOptions); off by default so the
+	// paper-fidelity campaigns keep one HTTP request per task.
+	Batching wfm.BatchOptions
 
 	// InstantScaleUp is the autoscaler-ramp ablation knob: skip the
 	// KPA-style doubling and create every needed pod in one tick.
@@ -164,6 +168,7 @@ func SessionConfig(spec Spec, tn Tunables) (core.SessionConfig, error) {
 		RetryBackoffMax: tn.RetryBackoffMax,
 		TaskTimeout:     tn.TaskTimeout,
 		Breaker:         tn.Breaker,
+		Batching:        tn.Batching,
 		Tracer:          tn.Tracer,
 		Monitor:         tn.Monitor,
 		Logger:          tn.Logger,

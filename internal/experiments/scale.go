@@ -46,6 +46,10 @@ type ScaleConfig struct {
 	MaxParallel int
 	// Seed drives the random shape.
 	Seed int64
+	// Batching runs the campaign through the manager's batched
+	// invocation pipeline (wfm.BatchOptions) — the scale knob that
+	// breaks the HTTP/1 request-per-task wall.
+	Batching wfm.BatchOptions
 	// TraceSample enables span collection: the fraction of workflow
 	// roots recorded (1 records everything, 0 disables). At 100k tasks
 	// a fully sampled run holds ~200k spans in memory; the overhead
@@ -94,6 +98,7 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 		Drive:       drive,
 		MaxParallel: cfg.MaxParallel,
 		Scheduling:  cfg.Scheduling,
+		Batching:    cfg.Batching,
 		Tracer:      tracer,
 		// The stub answers in microseconds, so nominal paper seconds
 		// are compressed hard: the phase-mode inter-phase delay becomes
@@ -138,19 +143,43 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 }
 
 // scaleStub is the loopback WfBench endpoint: decode, publish outputs
-// to the drive, acknowledge. No simulated compute.
+// to the drive, acknowledge. No simulated compute. It answers both the
+// single-task POST and the framed /invoke-batch surface, so either
+// transport measures the same amount of real work per task.
 func scaleStub(drive sharedfs.Drive) *httptest.Server {
+	execOne := func(req *wfbench.Request) *wfbench.Response {
+		for name, size := range req.Out {
+			drive.WriteFile(name, size)
+		}
+		return &wfbench.Response{Name: req.Name, OK: true}
+	}
 	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/invoke-batch") {
+			items, err := wfbench.DecodeBatchRequest(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			results := make([]wfbench.BatchResult, len(items))
+			for i, it := range items {
+				var req wfbench.Request
+				if err := json.Unmarshal(it.Body, &req); err != nil {
+					results[i] = wfbench.BatchResult{Status: http.StatusBadRequest, Payload: []byte(err.Error())}
+					continue
+				}
+				payload, _ := json.Marshal(execOne(&req))
+				results[i] = wfbench.BatchResult{Status: http.StatusOK, Payload: payload}
+			}
+			wfbench.WriteBatchResponse(w, results)
+			return
+		}
 		var req wfbench.Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		for name, size := range req.Out {
-			drive.WriteFile(name, size)
-		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(&wfbench.Response{Name: req.Name, OK: true})
+		json.NewEncoder(w).Encode(execOne(&req))
 	}))
 }
 

@@ -1,0 +1,176 @@
+package serverless
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfbench"
+)
+
+func frame(t *testing.T, r *wfbench.Request) wfbench.BatchItem {
+	t.Helper()
+	body, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wfbench.BatchItem{Body: body}
+}
+
+// TestInvokeBatchMixedFrames pins the platform batch surface: valid
+// sub-tasks fan out across the pod fleet and answer 200, an
+// unparseable frame answers 400, a function failure answers 500 with
+// its Response JSON — no frame's fate leaks into another's.
+func TestInvokeBatchMixedFrames(t *testing.T) {
+	drive := sharedfs.NewMem()
+	p := startPlatform(t, fastOpts(cluster.PaperTestbed(), drive))
+	if err := p.Apply(ServiceConfig{Name: "wfbench", Workers: 2, CPURequestPerWorker: 1, MemRequestPerWorker: 64 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	doomed := benchReq("doomed", 10)
+	doomed.Inputs = []string{"never-appears.txt"}
+	items := []wfbench.BatchItem{
+		frame(t, benchReq("b1", 10)),
+		{Body: []byte("{nope")},
+		frame(t, benchReq("b2", 10)),
+		frame(t, doomed),
+	}
+	results := p.InvokeBatch(context.Background(), "wfbench", items)
+	if len(results) != 4 {
+		t.Fatalf("%d frames, want 4", len(results))
+	}
+	for i, want := range []int{200, 400, 200, 500} {
+		if results[i].Status != want {
+			t.Fatalf("frame %d status = %d, want %d (payload %q)", i, results[i].Status, want, results[i].Payload)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		var r wfbench.Response
+		if err := json.Unmarshal(results[i].Payload, &r); err != nil || !r.OK {
+			t.Fatalf("frame %d payload = %q (%v)", i, results[i].Payload, err)
+		}
+	}
+	var failed wfbench.Response
+	if err := json.Unmarshal(results[3].Payload, &failed); err != nil || failed.OK {
+		t.Fatalf("failed frame payload = %q (%v)", results[3].Payload, err)
+	}
+	if !drive.Exists("b1_out") || !drive.Exists("b2_out") {
+		t.Fatal("batch outputs not published to the drive")
+	}
+	// Requests counts sub-tasks, not POSTs: three frames were valid.
+	if p.Requests() != 3 {
+		t.Fatalf("requests = %d, want 3", p.Requests())
+	}
+	if p.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", p.Failures())
+	}
+}
+
+// TestInvokeBatchUnknownService answers every frame 503.
+func TestInvokeBatchUnknownService(t *testing.T) {
+	p := startPlatform(t, fastOpts(cluster.PaperTestbed(), sharedfs.NewMem()))
+	results := p.InvokeBatch(context.Background(), "ghost",
+		[]wfbench.BatchItem{frame(t, benchReq("x", 1)), frame(t, benchReq("y", 1))})
+	for i, res := range results {
+		if res.Status != http.StatusServiceUnavailable || !strings.Contains(string(res.Payload), "ghost") {
+			t.Fatalf("frame %d = %+v, want 503 naming the service", i, res)
+		}
+	}
+}
+
+// TestIngressBatchRoute drives POST /<service>/invoke-batch through the
+// HTTP ingress — the exact surface the manager's batchURL points at
+// once the translator has rewritten API URLs.
+func TestIngressBatchRoute(t *testing.T) {
+	drive := sharedfs.NewMem()
+	p := startPlatform(t, fastOpts(cluster.PaperTestbed(), drive))
+	if err := p.Apply(ServiceConfig{Name: "wfbench", Workers: 2, CPURequestPerWorker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	items := []wfbench.BatchItem{frame(t, benchReq("i1", 10)), frame(t, benchReq("i2", 10))}
+	resp, err := http.Post(p.URL()+"/wfbench/invoke-batch", wfbench.BatchContentType,
+		bytes.NewReader(wfbench.EncodeBatchRequest(items)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingress batch status = %d", resp.StatusCode)
+	}
+	results, err := wfbench.DecodeBatchResponse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Status != http.StatusOK {
+			t.Fatalf("frame %d status = %d (%q)", i, res.Status, res.Payload)
+		}
+	}
+	if !drive.Exists("i1_out") || !drive.Exists("i2_out") {
+		t.Fatal("ingress batch outputs missing")
+	}
+
+	// A corrupt body is a 400 before any sub-task runs.
+	bad, err := http.Post(p.URL()+"/wfbench/invoke-batch", wfbench.BatchContentType,
+		bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt batch status = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestInvokeBatchLargeFanout pushes a batch wider than the worker pool
+// through one call: every frame completes, exercising the shared
+// response channel and queue backpressure.
+func TestInvokeBatchLargeFanout(t *testing.T) {
+	drive := sharedfs.NewMem()
+	p := startPlatform(t, fastOpts(cluster.PaperTestbed(), drive))
+	if err := p.Apply(ServiceConfig{Name: "wfbench", Workers: 2, MaxScale: 4, CPURequestPerWorker: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	items := make([]wfbench.BatchItem, n)
+	for i := range items {
+		items[i] = frame(t, benchReq(fmt.Sprintf("wide%02d", i), 5))
+	}
+	results := p.InvokeBatch(context.Background(), "wfbench", items)
+	for i, res := range results {
+		if res.Status != http.StatusOK {
+			t.Fatalf("frame %d status = %d (%q)", i, res.Status, res.Payload)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !drive.Exists(fmt.Sprintf("wide%02d_out", i)) {
+			t.Fatalf("wide%02d output missing", i)
+		}
+	}
+}
+
+func TestSplitBatchPath(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		service string
+		ok      bool
+	}{
+		{"/wfbench/invoke-batch", "wfbench", true},
+		{"/svc/invoke-batch/", "svc", true},
+		{"/invoke-batch", "", false},
+		{"//invoke-batch", "", false},
+		{"/a/b/invoke-batch", "", false},
+		{"/wfbench/wfbench", "", false},
+	} {
+		service, ok := splitBatchPath(tc.in)
+		if service != tc.service || ok != tc.ok {
+			t.Errorf("splitBatchPath(%q) = %q,%v want %q,%v", tc.in, service, ok, tc.service, tc.ok)
+		}
+	}
+}

@@ -174,11 +174,20 @@ type invocation struct {
 	respCh chan invocationResult
 	parent obs.SpanContext
 	queue  *obs.Span
+	// idx identifies a sub-invocation inside a batch: batch members
+	// share one response channel (sized for the whole batch) and the
+	// collector places results by idx. Single invocations use idx 0 on
+	// a dedicated channel.
+	idx int
+	// prep, when set, carries the batch's shared input verification so
+	// the worker skips the per-task input wait (ExecuteVerified).
+	prep *wfbench.BatchPrep
 }
 
 type invocationResult struct {
 	resp *wfbench.Response
 	err  error
+	idx  int
 }
 
 // Platform is the serverless platform. Create with New, then Start to
@@ -419,6 +428,155 @@ func (p *Platform) Invoke(ctx context.Context, serviceName string, req *wfbench.
 	}
 }
 
+// InvokeBatch executes a framed batch of sub-requests on the named
+// service. The batch's input-file union is waited for and content-
+// hashed once (wfbench.PrepareInputs), then every valid sub-request is
+// handed to the service queue in one pass — warm pods pull them
+// concurrently, so the batch fans out across the fleet without a
+// per-task HTTP round trip — and the results are collected on one
+// shared channel. Each frame carries the exact status a single-task
+// POST would have produced: 400 for invalid frames, 429 with a
+// Retry-After of one autoscale period when the queue is full, 503 on
+// shutdown/cancellation, 500 with the Response JSON for function
+// errors, 200 otherwise.
+func (p *Platform) InvokeBatch(ctx context.Context, serviceName string, items []wfbench.BatchItem) []wfbench.BatchResult {
+	results := make([]wfbench.BatchResult, len(items))
+	p.mu.Lock()
+	svc := p.services[serviceName]
+	stopped := p.stopped
+	p.mu.Unlock()
+	if svc == nil {
+		msg := fmt.Sprintf("serverless: no such service %q", serviceName)
+		if stopped {
+			msg = fmt.Sprintf("serverless: %s: %v", serviceName, ErrStopped)
+		}
+		for i := range results {
+			results[i] = wfbench.BatchResult{Status: http.StatusServiceUnavailable, Payload: []byte(msg)}
+		}
+		return results
+	}
+
+	// Decode and validate every frame first so the input union covers
+	// exactly the sub-tasks that will run.
+	reqs := make([]*wfbench.Request, len(items))
+	var union []string
+	for i, it := range items {
+		req := new(wfbench.Request)
+		if err := wfbench.UnmarshalRequest(it.Body, req); err != nil {
+			results[i] = wfbench.BatchResult{Status: http.StatusBadRequest,
+				Payload: []byte(fmt.Sprintf("bad request: %v", err))}
+			continue
+		}
+		if err := req.Validate(); err != nil {
+			results[i] = wfbench.BatchResult{Status: http.StatusBadRequest, Payload: []byte(err.Error())}
+			continue
+		}
+		reqs[i] = req
+		union = append(union, req.Inputs...)
+	}
+	prep := wfbench.PrepareInputs(ctx, p.opts.Drive, union, p.opts.scaled(p.opts.InputWait))
+
+	overloadMillis := p.opts.scaled(p.opts.AutoscalePeriod).Milliseconds()
+	respCh := make(chan invocationResult, len(items))
+	enqueued := 0
+	start := time.Now()
+enqueue:
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		var parent obs.SpanContext
+		if sc, ok := obs.ParseTraceparent(items[i].Traceparent); ok {
+			parent = sc
+		}
+		p.requests.Add(1)
+		inv := &invocation{req: req, respCh: respCh, parent: parent, idx: i, prep: prep}
+		inv.queue = p.opts.Tracer.StartChild(parent, "queue", obs.LayerPlatform)
+		select {
+		case svc.queue <- inv:
+			svc.inflight.Add(1)
+			enqueued++
+		case <-ctx.Done():
+			inv.queue.SetAttr("error", "cancelled before dispatch")
+			inv.queue.Finish()
+			p.failures.Add(1)
+			if len(svc.queue) >= cap(svc.queue) {
+				results[i] = wfbench.BatchResult{Status: http.StatusTooManyRequests,
+					RetryAfterMillis: overloadMillis,
+					Payload:          []byte(fmt.Sprintf("serverless: %s: queue full: %v: %v", serviceName, ErrOverloaded, ctx.Err()))}
+				continue
+			}
+			results[i] = wfbench.BatchResult{Status: http.StatusServiceUnavailable,
+				Payload: []byte(fmt.Sprintf("serverless: %s: %v", serviceName, ctx.Err()))}
+		case <-p.stopCh:
+			inv.queue.SetAttr("error", "platform stopped")
+			inv.queue.Finish()
+			p.failures.Add(1)
+			// Everything not yet enqueued shares the shutdown verdict.
+			for j := i; j < len(reqs); j++ {
+				if reqs[j] != nil && results[j].Status == 0 {
+					results[j] = wfbench.BatchResult{Status: http.StatusServiceUnavailable,
+						Payload: []byte(fmt.Sprintf("serverless: %s: %v", serviceName, ErrStopped))}
+				}
+			}
+			break enqueue
+		}
+	}
+
+	for done := 0; done < enqueued; done++ {
+		select {
+		case r := <-respCh:
+			svc.inflight.Add(-1)
+			p.latency.ObserveDuration(time.Since(start))
+			results[r.idx] = subResultFrame(r)
+			if r.err != nil {
+				p.failures.Add(1)
+			}
+		case <-ctx.Done():
+			// The caller gave up mid-batch. Mark the still-pending frames
+			// cancelled and drain the stragglers in the background so the
+			// inflight gauge (the autoscaler's demand signal) stays honest.
+			remaining := enqueued - done
+			for i, req := range reqs {
+				if req != nil && results[i].Status == 0 {
+					p.failures.Add(1)
+					results[i] = wfbench.BatchResult{Status: http.StatusServiceUnavailable,
+						Payload: []byte(fmt.Sprintf("serverless: %s: %v", serviceName, ctx.Err()))}
+				}
+			}
+			go func() {
+				for i := 0; i < remaining; i++ {
+					<-respCh
+					svc.inflight.Add(-1)
+				}
+			}()
+			return results
+		}
+	}
+	return results
+}
+
+// subResultFrame renders one collected sub-invocation as a response
+// frame with single-task HTTP semantics.
+func subResultFrame(r invocationResult) wfbench.BatchResult {
+	status := http.StatusOK
+	if r.err != nil {
+		status = http.StatusInternalServerError
+	}
+	var payload []byte
+	if r.resp != nil {
+		var merr error
+		payload, merr = wfbench.MarshalResponse(r.resp)
+		if merr != nil {
+			status = http.StatusInternalServerError
+			payload = []byte(merr.Error())
+		}
+	} else if r.err != nil {
+		payload = []byte(r.err.Error())
+	}
+	return wfbench.BatchResult{Status: status, Payload: payload}
+}
+
 // Stats is the operational snapshot served at GET /stats.
 type Stats struct {
 	Pods        int                     `json:"pods"`
@@ -459,7 +617,8 @@ func (p *Platform) Stats() Stats {
 	return st
 }
 
-// ServeHTTP routes POST /<service>/wfbench, GET /stats, GET /healthz.
+// ServeHTTP routes POST /<service>/wfbench, POST
+// /<service>/invoke-batch, GET /stats, GET /healthz.
 func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/healthz" {
 		fmt.Fprintln(w, "ok")
@@ -473,6 +632,19 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/metrics" && r.Method == http.MethodGet {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		p.WriteMetrics(w)
+		return
+	}
+	if service, ok := splitBatchPath(r.URL.Path); ok && r.Method == http.MethodPost {
+		body, err := wfbench.ReadBatchBody(r)
+		var items []wfbench.BatchItem
+		if err == nil {
+			items, err = wfbench.DecodeBatchRequestBytes(body)
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+			return
+		}
+		wfbench.WriteBatchResponse(w, p.InvokeBatch(r.Context(), service, items))
 		return
 	}
 	// Manual /<service>/wfbench routing: the invoke path handles one
@@ -553,6 +725,21 @@ var invokeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // segment, allocation-free.
 func splitInvokePath(path string) (string, bool) {
 	const suffix = "/wfbench"
+	path = strings.TrimSuffix(path, "/")
+	if len(path) <= len(suffix)+1 || path[0] != '/' || !strings.HasSuffix(path, suffix) {
+		return "", false
+	}
+	service := path[1 : len(path)-len(suffix)]
+	if service == "" || strings.ContainsRune(service, '/') {
+		return "", false
+	}
+	return service, true
+}
+
+// splitBatchPath matches "/<service>/invoke-batch" and returns the
+// service segment, allocation-free like splitInvokePath.
+func splitBatchPath(path string) (string, bool) {
+	const suffix = "/invoke-batch"
 	path = strings.TrimSuffix(path, "/")
 	if len(path) <= len(suffix)+1 || path[0] != '/' || !strings.HasSuffix(path, suffix) {
 		return "", false
@@ -849,7 +1036,13 @@ func (pd *pod) workerLoop(w *wfbench.Worker) {
 			if exec != nil {
 				ctx = obs.ContextWithSpan(ctx, exec.Context())
 			}
-			resp, err := w.Execute(ctx, inv.req)
+			var resp *wfbench.Response
+			var err error
+			if inv.prep != nil {
+				resp, err = w.ExecuteVerified(ctx, inv.req, inv.prep)
+			} else {
+				resp, err = w.Execute(ctx, inv.req)
+			}
 			if resp != nil {
 				resp.Pod = pd.name
 				resp.ColdStart = first
@@ -860,7 +1053,7 @@ func (pd *pod) workerLoop(w *wfbench.Worker) {
 			exec.Finish()
 			pd.active.Add(-1)
 			pd.lastActive.Store(time.Now().UnixNano())
-			inv.respCh <- invocationResult{resp: resp, err: err}
+			inv.respCh <- invocationResult{resp: resp, err: err, idx: inv.idx}
 		}
 	}
 }

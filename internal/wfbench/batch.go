@@ -1,0 +1,455 @@
+package wfbench
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"wfserverless/internal/obs"
+	"wfserverless/internal/sharedfs"
+)
+
+// Batch wire format, shared by the workflow manager's batching
+// dispatcher, the platform ingress, and the standalone service.
+//
+// A batch request body is a length-prefixed concatenation of the
+// already-JSON-encoded single-task request bodies — the manager reuses
+// its payload-arena slices without re-encoding or copying:
+//
+//	uvarint task count
+//	per task: uvarint traceparent length, traceparent bytes,
+//	          uvarint body length, body bytes (the /wfbench JSON)
+//
+// A batch response mirrors single-task HTTP semantics frame by frame,
+// so the client can run its existing per-task retry/breaker
+// classification unchanged:
+//
+//	uvarint task count (matching the request)
+//	per task: uvarint HTTP status, uvarint Retry-After milliseconds,
+//	          uvarint payload length, payload bytes
+//	          (status 200: Response JSON; otherwise: error text)
+const BatchContentType = "application/x-wfbench-batch"
+
+// Decoder guards against corrupt or hostile frames.
+const (
+	maxBatchTasks = 1 << 20
+	maxFrameBytes = 64 << 20
+)
+
+// BatchItem is one decoded sub-request of a batch.
+type BatchItem struct {
+	Traceparent string
+	Body        []byte
+}
+
+// BatchResult is one sub-response frame. Status carries the exact HTTP
+// status a single-task POST would have answered with.
+type BatchResult struct {
+	Status           int
+	RetryAfterMillis int64
+	Payload          []byte
+}
+
+// AppendBatchCount appends the batch's task-count prefix.
+func AppendBatchCount(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// AppendBatchItemHeader appends one sub-request's frame header (the
+// traceparent plus the length prefix of the body that follows). The
+// body bytes themselves are written separately so callers can stream
+// pre-encoded payloads zero-copy.
+func AppendBatchItemHeader(dst []byte, traceparent string, bodyLen int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(traceparent)))
+	dst = append(dst, traceparent...)
+	return binary.AppendUvarint(dst, uint64(bodyLen))
+}
+
+// EncodeBatchRequest renders a complete batch request body (the
+// convenience form used by tests and the fault injector's re-framing;
+// the manager streams arena slices instead).
+func EncodeBatchRequest(items []BatchItem) []byte {
+	out := AppendBatchCount(nil, len(items))
+	for _, it := range items {
+		out = AppendBatchItemHeader(out, it.Traceparent, len(it.Body))
+		out = append(out, it.Body...)
+	}
+	return out
+}
+
+// DecodeBatchRequest parses a batch request body.
+func DecodeBatchRequest(r io.Reader) ([]BatchItem, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wfbench: batch request body: %w", err)
+	}
+	return DecodeBatchRequestBytes(data)
+}
+
+// ReadBatchBody slurps an HTTP batch body, in a single exact-size
+// allocation when the Content-Length is declared. Servers pair it with
+// DecodeBatchRequestBytes so the whole decode costs two allocations.
+func ReadBatchBody(r *http.Request) ([]byte, error) {
+	if n := r.ContentLength; n >= 0 {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.Body, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return io.ReadAll(r.Body)
+}
+
+// DecodeBatchRequestBytes parses a batch request body in place: every
+// BatchItem.Body aliases data instead of copying its frame, so a wide
+// batch decodes with one allocation for the item slice. Callers must
+// keep data alive for as long as the items.
+func DecodeBatchRequestBytes(data []byte) ([]BatchItem, error) {
+	c := batchCursor{buf: data}
+	n, err := c.count(maxBatchTasks, "task count")
+	if err != nil {
+		return nil, err
+	}
+	items := make([]BatchItem, n)
+	for i := range items {
+		tp, err := c.frame(256, "traceparent")
+		if err != nil {
+			return nil, fmt.Errorf("wfbench: batch task %d: %w", i, err)
+		}
+		body, err := c.frame(maxFrameBytes, "body")
+		if err != nil {
+			return nil, fmt.Errorf("wfbench: batch task %d: %w", i, err)
+		}
+		items[i] = BatchItem{Traceparent: string(tp), Body: body}
+	}
+	return items, nil
+}
+
+// EncodeBatchResponse renders a complete batch response body.
+func EncodeBatchResponse(results []BatchResult) []byte {
+	// Size the buffer exactly (uvarints bounded by binary.MaxVarintLen64)
+	// so a wide batch encodes without growth copies.
+	size := binary.MaxVarintLen64
+	for _, res := range results {
+		size += 3*binary.MaxVarintLen64 + len(res.Payload)
+	}
+	out := AppendBatchCount(make([]byte, 0, size), len(results))
+	for _, res := range results {
+		out = binary.AppendUvarint(out, uint64(res.Status))
+		out = binary.AppendUvarint(out, uint64(res.RetryAfterMillis))
+		out = binary.AppendUvarint(out, uint64(len(res.Payload)))
+		out = append(out, res.Payload...)
+	}
+	return out
+}
+
+// DecodeBatchResponse parses a full batch response body strictly —
+// every frame must decode. Clients that want to salvage the frames
+// before a corrupt one use BatchResponseReader instead.
+func DecodeBatchResponse(r io.Reader) ([]BatchResult, error) {
+	br, err := NewBatchResponseReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, 0, br.Len())
+	for i := 0; i < br.Len(); i++ {
+		res, err := br.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// BatchResponseReader walks a batch response frame by frame. A framing
+// error from Next is terminal (the remaining frames cannot be located),
+// but a frame whose payload is garbage still decodes here — payload
+// interpretation is the caller's per-task concern, so one corrupt
+// sub-response cannot poison its batch-mates.
+type BatchResponseReader struct {
+	c batchCursor
+	n int
+	i int
+}
+
+// NewBatchResponseReader reads the full body and parses the count
+// prefix. Clients that already hold the body use
+// NewBatchResponseReaderBytes to skip the copy.
+func NewBatchResponseReader(r io.Reader) (*BatchResponseReader, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wfbench: batch response body: %w", err)
+	}
+	return NewBatchResponseReaderBytes(data)
+}
+
+// NewBatchResponseReaderBytes parses the count prefix of an in-memory
+// body. Every BatchResult.Payload from Next aliases data.
+func NewBatchResponseReaderBytes(data []byte) (*BatchResponseReader, error) {
+	r := &BatchResponseReader{c: batchCursor{buf: data}}
+	n, err := r.c.count(maxBatchTasks, "task count")
+	if err != nil {
+		return nil, err
+	}
+	r.n = n
+	return r, nil
+}
+
+// Len returns the declared frame count.
+func (r *BatchResponseReader) Len() int { return r.n }
+
+// Next returns the next frame.
+func (r *BatchResponseReader) Next() (BatchResult, error) {
+	if r.i >= r.n {
+		return BatchResult{}, io.EOF
+	}
+	r.i++
+	status, err := r.c.uvarint("wfbench: batch response status")
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if status < 100 || status > 599 {
+		return BatchResult{}, fmt.Errorf("wfbench: batch response status %d out of range", status)
+	}
+	retryAfter, err := r.c.uvarint("wfbench: batch response retry-after")
+	if err != nil {
+		return BatchResult{}, err
+	}
+	payload, err := r.c.frame(maxFrameBytes, "payload")
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("wfbench: batch response: %w", err)
+	}
+	return BatchResult{Status: int(status), RetryAfterMillis: int64(retryAfter), Payload: payload}, nil
+}
+
+// batchCursor walks a fully-read batch body, returning frames that
+// alias the underlying buffer.
+type batchCursor struct {
+	buf []byte
+	off int
+}
+
+func (c *batchCursor) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n > 0 {
+		c.off += n
+		return v, nil
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%s: %w", what, io.ErrUnexpectedEOF)
+	}
+	return 0, fmt.Errorf("%s: varint overflows 64 bits", what)
+}
+
+func (c *batchCursor) count(max uint64, what string) (int, error) {
+	v, err := c.uvarint("wfbench: batch " + what)
+	if err != nil {
+		return 0, err
+	}
+	if v > max {
+		return 0, fmt.Errorf("wfbench: batch %s %d exceeds limit %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+func (c *batchCursor) frame(max uint64, what string) ([]byte, error) {
+	// Length prefix read inline: building the "<what> length" error label
+	// eagerly would allocate on every frame of every batch.
+	l, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		if n == 0 {
+			return nil, fmt.Errorf("%s length: %w", what, io.ErrUnexpectedEOF)
+		}
+		return nil, fmt.Errorf("%s length: varint overflows 64 bits", what)
+	}
+	c.off += n
+	if l > max {
+		return nil, fmt.Errorf("%s length %d exceeds limit %d", what, l, max)
+	}
+	end := c.off + int(l)
+	if uint64(len(c.buf)-c.off) < l {
+		return nil, fmt.Errorf("%s bytes: %w", what, io.ErrUnexpectedEOF)
+	}
+	b := c.buf[c.off:end:end]
+	c.off = end
+	return b, nil
+}
+
+// BatchPrep is the shared verification state of one batch: the union of
+// the batch's input files, waited for and content-hashed once, so each
+// sub-task's input phase reduces to map lookups instead of its own
+// drive waits (and, on content-addressed drives, instead of re-reading
+// staged bytes).
+type BatchPrep struct {
+	hashes  map[string]uint64
+	present map[string]struct{}
+}
+
+// PrepareInputs waits (up to wait) for the union of the batch's input
+// files and resolves their content hashes where the drive supports it.
+// Files still missing at the deadline simply stay absent from the prep;
+// the sub-tasks that need them fail their own input check.
+func PrepareInputs(ctx context.Context, d sharedfs.Drive, inputs []string, wait time.Duration) *BatchPrep {
+	p := &BatchPrep{present: make(map[string]struct{}, len(inputs))}
+	uniq := make([]string, 0, len(inputs))
+	seen := make(map[string]struct{}, len(inputs))
+	for _, in := range inputs {
+		if _, ok := seen[in]; ok {
+			continue
+		}
+		seen[in] = struct{}{}
+		uniq = append(uniq, in)
+	}
+	if len(uniq) == 0 {
+		return p
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, wait)
+	missing, _ := sharedfs.WaitFor(waitCtx, d, uniq, wait/20)
+	cancel()
+	gone := make(map[string]struct{}, len(missing))
+	for _, m := range missing {
+		gone[m] = struct{}{}
+	}
+	hasher, _ := d.(sharedfs.Hasher)
+	for _, in := range uniq {
+		if _, ok := gone[in]; ok {
+			continue
+		}
+		p.present[in] = struct{}{}
+		if hasher != nil {
+			if h, ok := hasher.ContentHash(in); ok {
+				if p.hashes == nil {
+					p.hashes = make(map[string]uint64, len(uniq))
+				}
+				p.hashes[in] = h
+			}
+		}
+	}
+	return p
+}
+
+// Verified reports whether the prep confirmed the input present.
+func (p *BatchPrep) Verified(name string) bool {
+	_, ok := p.present[name]
+	return ok
+}
+
+// Hash returns the input's content hash, when the drive could provide
+// one.
+func (p *BatchPrep) Hash(name string) (uint64, bool) {
+	h, ok := p.hashes[name]
+	return h, ok
+}
+
+// missingOf returns the subset of inputs the prep could not verify.
+func (p *BatchPrep) missingOf(inputs []string) []string {
+	var missing []string
+	for _, in := range inputs {
+		if !p.Verified(in) {
+			missing = append(missing, in)
+		}
+	}
+	return missing
+}
+
+// serveBatch answers POST /invoke-batch for the standalone service:
+// decode the frames, verify the batch's input union once, run the
+// sub-tasks concurrently through the bounded worker pool, and answer
+// one frame per sub-task in request order.
+func (s *Service) serveBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := ReadBatchBody(r)
+	var items []BatchItem
+	if err == nil {
+		items, err = DecodeBatchRequestBytes(body)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	cfg := s.bench.cfg
+	results := ExecuteBatch(context.Background(), items, cfg.Drive, cfg.InputWait,
+		func(ctx context.Context, req *Request, prep *BatchPrep) (*Response, error) {
+			w := <-s.workers
+			s.active.Add(1)
+			defer func() {
+				s.active.Add(-1)
+				s.workers <- w
+			}()
+			s.requests.Add(1)
+			start := time.Now()
+			resp, err := w.ExecuteVerified(ctx, req, prep)
+			s.latency.ObserveDuration(time.Since(start))
+			if err != nil {
+				s.failures.Add(1)
+			}
+			return resp, err
+		})
+	WriteBatchResponse(w, results)
+}
+
+// ExecuteBatch is the shared batch execution shape: unmarshal and
+// validate each sub-request, prepare the input union once, then run the
+// valid sub-tasks concurrently via run. Invalid frames answer 400
+// without occupying a worker; function errors answer 500 with the
+// Response JSON, exactly as the single-task handler does.
+func ExecuteBatch(ctx context.Context, items []BatchItem, drive sharedfs.Drive, inputWait time.Duration,
+	run func(ctx context.Context, req *Request, prep *BatchPrep) (*Response, error)) []BatchResult {
+	results := make([]BatchResult, len(items))
+	reqs := make([]*Request, len(items))
+	var union []string
+	for i, it := range items {
+		req := new(Request)
+		if err := UnmarshalRequest(it.Body, req); err != nil {
+			results[i] = BatchResult{Status: http.StatusBadRequest, Payload: []byte(fmt.Sprintf("bad request: %v", err))}
+			continue
+		}
+		if err := req.Validate(); err != nil {
+			results[i] = BatchResult{Status: http.StatusBadRequest, Payload: []byte(err.Error())}
+			continue
+		}
+		reqs[i] = req
+		union = append(union, req.Inputs...)
+	}
+	prep := PrepareInputs(ctx, drive, union, inputWait)
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			subCtx := ctx
+			if sc, ok := obs.ParseTraceparent(items[i].Traceparent); ok {
+				subCtx = obs.ContextWithSpan(ctx, sc)
+			}
+			resp, err := run(subCtx, req, prep)
+			status := http.StatusOK
+			if err != nil {
+				status = http.StatusInternalServerError
+			}
+			payload, merr := MarshalResponse(resp)
+			if merr != nil {
+				status = http.StatusInternalServerError
+				payload = []byte(merr.Error())
+			}
+			results[i] = BatchResult{Status: status, Payload: payload}
+		}(i, req)
+	}
+	wg.Wait()
+	return results
+}
+
+// WriteBatchResponse writes an encoded batch response with the batch
+// content type.
+func WriteBatchResponse(w http.ResponseWriter, results []BatchResult) {
+	body := EncodeBatchResponse(results)
+	w.Header().Set("Content-Type", BatchContentType)
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.Write(body)
+}

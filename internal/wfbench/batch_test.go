@@ -1,0 +1,360 @@
+package wfbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wfserverless/internal/sharedfs"
+)
+
+func marshalReq(t *testing.T, r *Request) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	items := []BatchItem{
+		{Traceparent: "", Body: []byte(`{"name":"a"}`)},
+		{Traceparent: "00-trace-span-01", Body: []byte{}},
+		{Traceparent: "", Body: []byte(`{"name":"c","inputs":["x"]}`)},
+	}
+	got, err := DecodeBatchRequest(bytes.NewReader(EncodeBatchRequest(items)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i].Traceparent != items[i].Traceparent || string(got[i].Body) != string(items[i].Body) {
+			t.Fatalf("item %d = %+v, want %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	results := []BatchResult{
+		{Status: 200, Payload: []byte(`{"ok":true}`)},
+		{Status: 429, RetryAfterMillis: 1500, Payload: []byte("overloaded")},
+		{Status: 500, Payload: []byte("boom")},
+	}
+	got, err := DecodeBatchResponse(bytes.NewReader(EncodeBatchResponse(results)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if got[i].Status != results[i].Status ||
+			got[i].RetryAfterMillis != results[i].RetryAfterMillis ||
+			string(got[i].Payload) != string(results[i].Payload) {
+			t.Fatalf("frame %d = %+v, want %+v", i, got[i], results[i])
+		}
+	}
+}
+
+// TestBatchResponseReaderSalvagesPrefix pins the streaming contract: a
+// framing error is terminal, but every frame before it is recovered —
+// the client fails only the tasks it cannot locate frames for.
+func TestBatchResponseReaderSalvagesPrefix(t *testing.T) {
+	raw := AppendBatchCount(nil, 3)
+	raw = binary.AppendUvarint(raw, 200)
+	raw = binary.AppendUvarint(raw, 0)
+	raw = binary.AppendUvarint(raw, 2)
+	raw = append(raw, "ok"...)
+	raw = binary.AppendUvarint(raw, 999) // status out of range: framing error
+	br, err := NewBatchResponseReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", br.Len())
+	}
+	first, err := br.Next()
+	if err != nil || first.Status != 200 || string(first.Payload) != "ok" {
+		t.Fatalf("first frame = %+v, %v", first, err)
+	}
+	if _, err := br.Next(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("corrupt frame error = %v", err)
+	}
+}
+
+func TestDecodeBatchRequestRejectsOversize(t *testing.T) {
+	over := binary.AppendUvarint(nil, maxBatchTasks+1)
+	if _, err := DecodeBatchRequest(bytes.NewReader(over)); err == nil {
+		t.Fatal("oversize task count accepted")
+	}
+	// Traceparent frames are capped at 256 bytes.
+	raw := AppendBatchCount(nil, 1)
+	raw = binary.AppendUvarint(raw, 300)
+	raw = append(raw, make([]byte, 300)...)
+	raw = binary.AppendUvarint(raw, 0)
+	if _, err := DecodeBatchRequest(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversize traceparent accepted")
+	}
+	// A truncated body must error, not hang or short-read.
+	raw = AppendBatchCount(nil, 1)
+	raw = binary.AppendUvarint(raw, 0)
+	raw = binary.AppendUvarint(raw, 10)
+	raw = append(raw, "short"...)
+	if _, err := DecodeBatchRequest(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestPrepareInputsHashesPresentFiles(t *testing.T) {
+	drive := sharedfs.NewMem()
+	drive.WriteFile("a", 10)
+	drive.WriteFile("b", 20)
+	prep := PrepareInputs(context.Background(), drive, []string{"a", "b", "a", "missing"}, 50*time.Millisecond)
+	if !prep.Verified("a") || !prep.Verified("b") {
+		t.Fatal("staged files not verified")
+	}
+	if prep.Verified("missing") {
+		t.Fatal("absent file verified")
+	}
+	ha, ok := prep.Hash("a")
+	if !ok {
+		t.Fatal("no content hash for staged file on a hashing drive")
+	}
+	if hb, ok := prep.Hash("b"); !ok || hb == ha {
+		t.Fatalf("hashes not distinct: a=%d b=%d ok=%v", ha, hb, ok)
+	}
+	if missing := prep.missingOf([]string{"a", "missing"}); len(missing) != 1 || missing[0] != "missing" {
+		t.Fatalf("missingOf = %v", missing)
+	}
+}
+
+// TestServiceServeBatch drives the standalone service's /invoke-batch
+// surface end to end: valid sub-tasks execute through the worker pool,
+// an unparseable frame answers 400 without poisoning the others, and a
+// sub-task with a missing input answers 500 with the usual Response
+// JSON — frame for frame what single-task POSTs would have said.
+func TestServiceServeBatch(t *testing.T) {
+	drive := sharedfs.NewMem()
+	drive.WriteFile("staged.in", 8)
+	b := testBench(t, Config{Drive: drive, InputWait: 50 * time.Millisecond})
+	svc, err := NewService(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	withInput := req("needs_input")
+	withInput.Inputs = []string{"staged.in"}
+	doomed := req("doomed")
+	doomed.Inputs = []string{"never_staged.in"}
+	items := []BatchItem{
+		{Body: marshalReq(t, req("plain"))},
+		{Body: []byte("{broken")},
+		{Body: marshalReq(t, withInput)},
+		{Body: marshalReq(t, doomed)},
+	}
+	resp, err := http.Post(srv.URL+"/invoke-batch", BatchContentType,
+		bytes.NewReader(EncodeBatchRequest(items)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch POST status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != BatchContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	results, err := DecodeBatchResponse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d frames, want 4", len(results))
+	}
+	wantStatus := []int{200, 400, 200, 500}
+	for i, want := range wantStatus {
+		if results[i].Status != want {
+			t.Fatalf("frame %d status = %d, want %d (payload %q)", i, results[i].Status, want, results[i].Payload)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		var r Response
+		if err := json.Unmarshal(results[i].Payload, &r); err != nil || !r.OK {
+			t.Fatalf("frame %d payload = %q (err %v)", i, results[i].Payload, err)
+		}
+	}
+	var failed Response
+	if err := json.Unmarshal(results[3].Payload, &failed); err != nil {
+		t.Fatal(err)
+	}
+	if failed.OK || !strings.Contains(failed.Error, "never_staged.in") {
+		t.Fatalf("doomed frame response = %+v", failed)
+	}
+	// The valid sub-tasks' outputs landed on the drive.
+	if _, err := drive.Stat("plain_out"); err != nil {
+		t.Fatalf("plain_out not published: %v", err)
+	}
+	if _, err := drive.Stat("needs_input_out"); err != nil {
+		t.Fatalf("needs_input_out not published: %v", err)
+	}
+}
+
+// batchEcho is a minimal /invoke-batch upstream: every frame answers
+// 200 with an OK Response carrying the request's name.
+func batchEcho(t *testing.T) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		items, err := DecodeBatchRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]BatchResult, len(items))
+		for i, it := range items {
+			var req Request
+			if err := json.Unmarshal(it.Body, &req); err != nil {
+				t.Errorf("upstream got unparseable frame: %v", err)
+			}
+			payload, _ := json.Marshal(&Response{Name: req.Name, OK: true})
+			results[i] = BatchResult{Status: http.StatusOK, Payload: payload}
+		}
+		WriteBatchResponse(w, results)
+	})
+}
+
+func postBatch(t *testing.T, h http.Handler, items []BatchItem) []BatchResult {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/invoke-batch",
+		bytes.NewReader(EncodeBatchRequest(items)))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch POST status = %d: %s", rec.Code, rec.Body.String())
+	}
+	results, err := DecodeBatchResponse(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(items) {
+		t.Fatalf("%d frames, want %d", len(results), len(items))
+	}
+	return results
+}
+
+func batchItems(t *testing.T, n int) []BatchItem {
+	t.Helper()
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i] = BatchItem{Body: marshalReq(t, req("t"+frameTag(i)))}
+	}
+	return items
+}
+
+func frameTag(i int) string { return string(rune('a' + i)) }
+
+// TestInjectorBatchZeroProfileForwards pins the clean path: no faults
+// means the batch reaches the upstream intact and frames come back in
+// request order.
+func TestInjectorBatchZeroProfileForwards(t *testing.T) {
+	inj, err := NewInjector(batchEcho(t), FaultProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := postBatch(t, inj, batchItems(t, 4))
+	for i, res := range results {
+		var r Response
+		if res.Status != 200 {
+			t.Fatalf("frame %d status = %d", i, res.Status)
+		}
+		if err := json.Unmarshal(res.Payload, &r); err != nil || r.Name != "t"+frameTag(i) {
+			t.Fatalf("frame %d out of order: %+v (%v)", i, r, err)
+		}
+	}
+	if s := inj.Stats(); s.Passed != 4 {
+		t.Fatalf("stats = %+v, want 4 passes", s)
+	}
+}
+
+// TestInjectorBatchRejectsPerFrame pins that a certain-reject profile
+// answers every frame 429 with the Retry-After hint in milliseconds —
+// the hint the manager's retry schedule honors per sub-task.
+func TestInjectorBatchRejectsPerFrame(t *testing.T) {
+	inj, err := NewInjector(batchEcho(t), FaultProfile{RejectRate: 1, RetryAfter: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := postBatch(t, inj, batchItems(t, 3))
+	for i, res := range results {
+		if res.Status != http.StatusTooManyRequests || res.RetryAfterMillis != 250 {
+			t.Fatalf("frame %d = %+v, want 429 with 250ms hint", i, res)
+		}
+	}
+	if s := inj.Stats(); s.Rejects != 3 || s.Passed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestInjectorBatchFaultsSubset pins per-frame independence: with a
+// half error rate over many frames, some frames fail and some execute,
+// inside the same batch POST — the injector no longer faults at
+// request granularity.
+func TestInjectorBatchFaultsSubset(t *testing.T) {
+	inj, err := NewInjector(batchEcho(t), FaultProfile{ErrorRate: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]BatchItem, 24)
+	for i := range items {
+		items[i] = BatchItem{Body: marshalReq(t, req("x"))}
+	}
+	results := postBatch(t, inj, items)
+	var ok, failed int
+	for _, res := range results {
+		switch res.Status {
+		case http.StatusOK:
+			ok++
+		case http.StatusInternalServerError:
+			failed++
+		default:
+			t.Fatalf("unexpected frame status %d", res.Status)
+		}
+	}
+	if ok == 0 || failed == 0 {
+		t.Fatalf("ok=%d failed=%d: faults not per-frame", ok, failed)
+	}
+	s := inj.Stats()
+	if int(s.Errors) != failed || int(s.Passed) != ok {
+		t.Fatalf("stats %+v disagree with frames ok=%d failed=%d", s, ok, failed)
+	}
+}
+
+// TestInjectorBatchUpstreamRejectInheritedByAll pins the whole-batch
+// failure path: when the wrapped handler answers the re-framed batch
+// with a non-200, every forwarded frame inherits that status and the
+// Retry-After header, exactly as single-task POSTs to a drowning
+// endpoint would.
+func TestInjectorBatchUpstreamRejectInheritedByAll(t *testing.T) {
+	upstream := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "drowning", http.StatusServiceUnavailable)
+	})
+	inj, err := NewInjector(upstream, FaultProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := postBatch(t, inj, batchItems(t, 3))
+	for i, res := range results {
+		if res.Status != http.StatusServiceUnavailable || res.RetryAfterMillis != 2000 {
+			t.Fatalf("frame %d = %+v, want 503 with 2000ms hint", i, res)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package wfbench
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,10 +153,17 @@ func (in *Injector) draw() (hang, delay, reject, fail bool, extra time.Duration)
 }
 
 // ServeHTTP implements http.Handler. Health checks pass through
-// unfaulted so orchestration probes stay honest about liveness.
+// unfaulted so orchestration probes stay honest about liveness. Batch
+// invocations are faulted per sub-task: each frame draws its own fate,
+// so a 429/500/hang can hit one task inside a batch while its
+// batch-mates execute normally.
 func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/healthz" {
 		in.next.ServeHTTP(w, r)
+		return
+	}
+	if strings.HasSuffix(r.URL.Path, "/invoke-batch") && r.Method == http.MethodPost {
+		in.serveBatch(w, r)
 		return
 	}
 	hang, delay, reject, fail, extra := in.draw()
@@ -196,3 +206,125 @@ func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	in.passed.Add(1)
 	in.next.ServeHTTP(w, r)
 }
+
+// serveBatch faults a batch invocation frame by frame: every sub-task
+// draws independently from the same seeded stream as single-task
+// requests. Rejected (429) and failed (500) frames are answered by the
+// injector; the surviving subset is re-framed and forwarded to the
+// wrapped handler, and the sub-responses are merged back in request
+// order. A hung sub-task holds the whole HTTP response — honest
+// head-of-line blocking on a batched connection — until MaxHang or
+// client abandon, after which its frame reports the late 500.
+func (in *Injector) serveBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := ReadBatchBody(r)
+	var items []BatchItem
+	if err == nil {
+		items, err = DecodeBatchRequestBytes(body)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	results := make([]BatchResult, len(items))
+	forward := make([]BatchItem, 0, len(items))
+	forwardIdx := make([]int, 0, len(items))
+	var maxDelay time.Duration
+	anyHang := false
+	for i, it := range items {
+		hang, delay, reject, fail, extra := in.draw()
+		switch {
+		case hang:
+			in.hangs.Add(1)
+			anyHang = true
+			results[i] = BatchResult{Status: http.StatusInternalServerError,
+				Payload: []byte("wfbench: injected hang expired")}
+		case reject:
+			in.rejects.Add(1)
+			res := BatchResult{Status: http.StatusTooManyRequests,
+				Payload: []byte("wfbench: injected overload")}
+			if in.profile.RetryAfter > 0 {
+				res.RetryAfterMillis = int64(in.profile.RetryAfter * 1000)
+			}
+			results[i] = res
+		case fail:
+			in.errors.Add(1)
+			results[i] = BatchResult{Status: http.StatusInternalServerError,
+				Payload: []byte("wfbench: injected fault")}
+		default:
+			if delay {
+				in.delays.Add(1)
+				if d := in.profile.Latency + extra; d > maxDelay {
+					maxDelay = d
+				}
+			}
+			in.passed.Add(1)
+			forward = append(forward, it)
+			forwardIdx = append(forwardIdx, i)
+		}
+	}
+	if anyHang {
+		maxHang := in.profile.MaxHang
+		if maxHang <= 0 {
+			maxHang = 30 * time.Second
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(maxHang):
+		}
+	}
+	if maxDelay > 0 {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(maxDelay):
+		}
+	}
+	if len(forward) > 0 {
+		sub := EncodeBatchRequest(forward)
+		req := r.Clone(r.Context())
+		req.Body = io.NopCloser(bytes.NewReader(sub))
+		req.ContentLength = int64(len(sub))
+		rec := &batchRecorder{header: make(http.Header), status: http.StatusOK}
+		in.next.ServeHTTP(rec, req)
+		if rec.status != http.StatusOK {
+			// The wrapped handler refused the whole batch: every forwarded
+			// frame inherits that verdict, as a single-task POST would.
+			var retryAfter int64
+			if ra := rec.header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.ParseFloat(ra, 64); err == nil && secs > 0 {
+					retryAfter = int64(secs * 1000)
+				}
+			}
+			msg := bytes.TrimSpace(rec.body.Bytes())
+			for _, i := range forwardIdx {
+				results[i] = BatchResult{Status: rec.status, RetryAfterMillis: retryAfter, Payload: msg}
+			}
+		} else {
+			subResults, err := DecodeBatchResponse(&rec.body)
+			if err != nil || len(subResults) != len(forward) {
+				for _, i := range forwardIdx {
+					results[i] = BatchResult{Status: http.StatusBadGateway,
+						Payload: []byte("wfbench: injector: malformed upstream batch response")}
+				}
+			} else {
+				for j, i := range forwardIdx {
+					results[i] = subResults[j]
+				}
+			}
+		}
+	}
+	WriteBatchResponse(w, results)
+}
+
+// batchRecorder captures the wrapped handler's response so the injector
+// can merge fault frames back into it.
+type batchRecorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *batchRecorder) Header() http.Header         { return r.header }
+func (r *batchRecorder) WriteHeader(status int)      { r.status = status }
+func (r *batchRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }

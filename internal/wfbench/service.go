@@ -111,8 +111,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		"per-request execution wall time including worker wait")
 }
 
-// ServeHTTP implements http.Handler for POST /wfbench, GET /healthz and
-// GET /metrics.
+// ServeHTTP implements http.Handler for POST /wfbench, POST
+// /invoke-batch, GET /healthz and GET /metrics.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
@@ -121,6 +121,8 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.WriteMetrics(w)
+	case r.URL.Path == "/invoke-batch" && r.Method == http.MethodPost:
+		s.serveBatch(w, r)
 	case r.URL.Path == "/wfbench" && r.Method == http.MethodPost:
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

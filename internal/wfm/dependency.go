@@ -90,6 +90,11 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Batch POSTs ride runCtx so a single task abandoning its wait never
+	// aborts its batch-mates' shared request; closed (runs before cancel)
+	// to flush any linger-window stragglers on every exit path.
+	rs.batch = m.newBatcher(runCtx, p)
+	defer rs.batch.close()
 
 	workers := m.opts.MaxParallel
 	if workers <= 0 || workers > n {
@@ -245,7 +250,7 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 		finish()
 		return tr
 	}
-	if inputs := task.InputFiles(); len(inputs) > 0 {
+	if inputs := task.InputFiles(); len(inputs) > 0 && !sharedfs.AllExist(m.opts.Drive, inputs) {
 		waitCtx, cancel := context.WithTimeout(ctx, m.scaled(m.opts.InputWait))
 		missing, err := sharedfs.WaitFor(waitCtx, m.opts.Drive, inputs, m.scaled(m.opts.InputWait)/100)
 		cancel()

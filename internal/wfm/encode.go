@@ -160,6 +160,60 @@ func (b *arenaBody) Close() error {
 	return nil
 }
 
+// batchFrames renders a batch request body for the given tasks as a
+// segment list: the count prefix and per-frame headers go into one
+// freshly-built header arena, while every payload segment aliases the
+// plan's body arena — the pre-encoded JSON is neither re-encoded nor
+// copied, for any batch size. Segments alternate header, body, header,
+// body, ... and the first header segment carries the count prefix.
+func (p *invocationPlan) batchFrames(ids []int32, tps []string) ([][]byte, int64) {
+	hdr := wfbench.AppendBatchCount(make([]byte, 0, 16+48*len(ids)), len(ids))
+	cuts := make([]int, len(ids))
+	for i, id := range ids {
+		hdr = wfbench.AppendBatchItemHeader(hdr, tps[i], len(p.body(id)))
+		cuts[i] = len(hdr)
+	}
+	segs := make([][]byte, 0, 2*len(ids))
+	prev := 0
+	for i, id := range ids {
+		segs = append(segs, hdr[prev:cuts[i]])
+		prev = cuts[i]
+		segs = append(segs, p.body(id))
+	}
+	var total int64
+	for _, s := range segs {
+		total += int64(len(s))
+	}
+	return segs, total
+}
+
+// segmentReader streams a segment list as one request body without
+// joining the segments. Safe to construct repeatedly from the same
+// segments (GetBody replays for redirects/retries at the transport
+// layer).
+type segmentReader struct {
+	segs [][]byte
+	i    int
+	off  int
+}
+
+func (r *segmentReader) Read(p []byte) (int, error) {
+	for r.i < len(r.segs) {
+		seg := r.segs[r.i]
+		if r.off >= len(seg) {
+			r.i++
+			r.off = 0
+			continue
+		}
+		n := copy(p, seg[r.off:])
+		r.off += n
+		return n, nil
+	}
+	return 0, io.EOF
+}
+
+func (r *segmentReader) Close() error { return nil }
+
 // decodeBufs recycles response read buffers: the decode path drains
 // each response into a pooled buffer and unmarshals in place instead
 // of allocating a fresh json.Decoder (and its internal buffer) per

@@ -256,6 +256,9 @@ func (b *breaker) State() string {
 type resilience struct {
 	m     *Manager
 	start time.Time
+	// batch is the run's batching dispatcher; nil when Options.Batching
+	// is disabled, keeping the single-task invocation path untouched.
+	batch *batcher
 
 	mu          sync.Mutex
 	breakers    map[string]*breaker
