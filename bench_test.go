@@ -11,12 +11,14 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"wfserverless/internal/cluster"
 	"wfserverless/internal/experiments"
+	"wfserverless/internal/memo"
 	"wfserverless/internal/recipes"
 	"wfserverless/internal/serverless"
 	"wfserverless/internal/sharedfs"
@@ -437,4 +439,90 @@ func BenchmarkInvocationThroughputBatched(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(tasks)*float64(b.N)/totalWall.Seconds(), "invocations/s")
+}
+
+// BenchmarkMemoizedRerun is the headline number for content-addressed
+// memoization: an unchanged 100k-task re-run served entirely from the
+// memo cache. The setup executes the workflow once cold through the
+// batched pipeline to populate the cache, then each timed iteration
+// re-runs the identical workflow on the same drive + cache: every task
+// resolves to a fingerprint hit with verified outputs and zero HTTP
+// invocations, so the wall collapses to the probe (one SHA-256 per
+// task) plus scheduling. The acceptance target is a >=20x speedup over
+// the cold run, reported as the "speedup" metric; "tasks/s" is the
+// gated regression metric.
+func BenchmarkMemoizedRerun(b *testing.B) {
+	const tasks = 100_000
+	drive := sharedfs.NewMem()
+	p, err := serverless.New(serverless.Options{
+		Cluster:        cluster.PaperTestbed(),
+		Drive:          drive,
+		TimeScale:      0.001,
+		InstantScaleUp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url, err := p.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Apply(serverless.ServiceConfig{
+		Name: "wfbench", Workers: 32, MinScale: 8, MaxScale: 64,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	cache, err := memo.Open(filepath.Join(b.TempDir(), "memo.cache"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	m, err := wfm.New(wfm.Options{
+		Drive:       drive,
+		TimeScale:   0.001,
+		InputWait:   5000,
+		MaxParallel: 2048,
+		Scheduling:  wfm.ScheduleDependency,
+		Batching: wfm.BatchOptions{
+			Enabled:  true,
+			MaxTasks: 512,
+			Linger:   2,
+		},
+		Memoize: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := invocationBenchWorkflow(b, tasks, url)
+
+	// Cold run: every task misses, executes, and lands in the cache.
+	// Its wall time is the baseline the speedup metric divides by.
+	cold, err := m.Run(context.Background(), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cold.Failed) != 0 {
+		b.Fatalf("cold run failed tasks: %d", len(cold.Failed))
+	}
+	if cold.Memo == nil || cold.Memo.Misses != tasks {
+		b.Fatalf("cold run memo state: %+v", cold.Memo)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var totalWall time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(context.Background(), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Memo == nil || res.Memo.Hits != tasks {
+			b.Fatalf("re-run not fully memoized: %+v", res.Memo)
+		}
+		totalWall += res.Wall
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tasks)*float64(b.N)/totalWall.Seconds(), "tasks/s")
+	b.ReportMetric(cold.Wall.Seconds()/(totalWall.Seconds()/float64(b.N)), "speedup")
 }

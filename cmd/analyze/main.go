@@ -187,6 +187,12 @@ func runJournalSummary(path string) {
 	fmt.Printf("\ntasks:        %d started, %d completed, %d failed (%d skipped)\n",
 		len(s.Attempts), s.CompletedTasks, s.FailedTasks, s.SkippedTasks)
 	fmt.Printf("attempts:     %d total, %d task(s) ran more than once\n", attempts, retried)
+	if s.MemoizedTasks > 0 {
+		executed := s.CompletedTasks - s.MemoizedTasks
+		fmt.Printf("memoized:     %d task(s) served from the memo cache, %d executed, %d re-executed after a hit\n",
+			s.MemoizedTasks, executed, s.MemoReexecuted)
+		fmt.Printf("              %d output byte(s) skipped (never re-produced)\n", s.MemoSkippedBytes)
+	}
 	if ids, n := s.MaxAttemptTasks(); n > 1 {
 		show := ids
 		if len(show) > 8 {

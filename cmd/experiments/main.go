@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | scale | recovery | all")
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | scale | recovery | memo | all")
 		small     = flag.Int("small", 30, "small workflow size")
 		large     = flag.Int("large", 120, "large workflow size")
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
@@ -54,6 +54,12 @@ func main() {
 		// Shape of -suite recovery.
 		recoveryTasks  = flag.Int("recovery-tasks", 400, "recovery suite: synthetic workflow size per trial")
 		recoveryTrials = flag.Int("recovery-trials", 3, "recovery suite: randomized crash points per {scheduling} x {faults} cell")
+
+		// Shape of -suite memo, plus the -memoize toggle for the
+		// recovery and resilience suites.
+		memoTasks = flag.Int("memo-tasks", 100_000, "memo suite: synthetic workflow size")
+		memoEdits = flag.Int("memo-edits", 8, "memo suite: tasks perturbed in the k-edit variant")
+		memoize   = flag.Bool("memoize", false, "run the recovery and resilience suites with the content-addressed memo cache enabled")
 
 		// Shape of -suite scale.
 		scaleTasks    = flag.Int("scale-tasks", 100_000, "scale suite: synthetic workflow size")
@@ -158,7 +164,7 @@ func main() {
 	case "concurrent":
 		runConcurrent(ctx, sz, *seed, tn)
 	case "resilience":
-		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed, *traceSample, *traceDir, batching)
+		runResilience(ctx, *small, *seed, *timeScale, *faultError, *faultReject, *faultLatMS, *faultSeed, *traceSample, *traceDir, batching, *memoize)
 	case "design":
 		printDesign()
 	case "table2":
@@ -174,7 +180,9 @@ func main() {
 	case "fig7":
 		runSuite("fig7", experiments.Figure7)
 	case "recovery":
-		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale, batching)
+		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale, batching, *memoize)
+	case "memo":
+		runMemo(ctx, *memoTasks, *memoEdits, *seed, *timeScale, batching)
 	case "scale":
 		runScale(ctx, experiments.ScaleConfig{
 			Tasks:       *scaleTasks,
@@ -279,14 +287,15 @@ func formatBytes(n int64) string {
 // kill/resume cycles across both scheduling modes, with and without
 // injected faults, asserting the resumed drive state matches an
 // uninterrupted reference and no recorded task runs twice.
-func runRecovery(ctx context.Context, tasks, trials int, seed int64, timeScale float64, batching wfm.BatchOptions) {
-	fmt.Printf("== Recovery: %d-task workflows, %d randomized crash points per cell ==\n", tasks, trials)
+func runRecovery(ctx context.Context, tasks, trials int, seed int64, timeScale float64, batching wfm.BatchOptions, memoize bool) {
+	fmt.Printf("== Recovery: %d-task workflows, %d randomized crash points per cell (memoize=%t) ==\n", tasks, trials, memoize)
 	ts, err := experiments.Recovery(ctx, experiments.RecoveryConfig{
 		Tasks:     tasks,
 		Trials:    trials,
 		Seed:      seed,
 		TimeScale: timeScale / 10, // recovery cells run 4x2 full workflows; keep the campaign snappy
 		Batching:  batching,
+		Memoize:   memoize,
 	})
 	if err != nil {
 		fatal(err)
@@ -338,7 +347,7 @@ func runConcurrent(ctx context.Context, sz experiments.Sizes, seed int64, tn exp
 // runResilience executes the flaky-endpoint experiment: a workflow
 // against a fault-injecting WfBench service, with retries, backoff, and
 // the circuit breaker absorbing the chaos, in both scheduling modes.
-func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64, traceSample float64, traceDir string, batching wfm.BatchOptions) {
+func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64, traceSample float64, traceDir string, batching wfm.BatchOptions, memoize bool) {
 	cfg := experiments.ResilienceConfig{
 		Recipe:      "blast",
 		NumTasks:    size,
@@ -346,6 +355,7 @@ func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRa
 		TimeScale:   timeScale,
 		Batching:    batching,
 		TraceSample: traceSample,
+		Memoize:     memoize,
 		Profile: wfbench.FaultProfile{
 			ErrorRate:     errorRate,
 			RejectRate:    rejectRate,
@@ -368,8 +378,46 @@ func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRa
 	}
 	for _, m := range ms {
 		writeTrace(traceDir, fmt.Sprintf("resilience_%s_%d_%s", cfg.Recipe, size, m.Scheduling), m.Trace)
+		if memoize {
+			fmt.Printf("memoized re-run (%s): %d hit(s), %d miss(es), wall %v\n",
+				m.Scheduling, m.MemoHits, m.MemoMisses, m.MemoWarmWall)
+			if m.MemoHits != m.Tasks || m.MemoMisses != 0 {
+				fatal(fmt.Errorf("memoized re-run was not fully served from cache (%d/%d hits)", m.MemoHits, m.Tasks))
+			}
+		}
 	}
 	fmt.Println()
+}
+
+// runMemo executes the incremental re-execution campaign: cold run,
+// unchanged re-run, 1-task edit, and k-task edit over one persistent
+// drive and memo cache, in both scheduling modes, asserting the exact
+// edit-closure and drive-convergence invariants on every variant.
+func runMemo(ctx context.Context, tasks, edits int, seed int64, timeScale float64, batching wfm.BatchOptions) {
+	fmt.Printf("== Memoization: %d-task workflow, cold / rerun / edit1 / edit%d ==\n", tasks, edits)
+	ms, err := experiments.Memo(ctx, experiments.MemoConfig{
+		Tasks:     tasks,
+		EditTasks: edits,
+		Seed:      seed,
+		TimeScale: timeScale / 10, // the campaign runs 4 variants + references per mode
+		Batching:  batching,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteMemoTable(os.Stdout, ms); err != nil {
+		fatal(err)
+	}
+	bad := 0
+	for _, m := range ms {
+		if !m.Exact || !m.DriveMatch {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d of %d memo variants violated incremental re-execution invariants", bad, len(ms)))
+	}
+	fmt.Printf("\nAll %d variants re-invoked exactly the edit closure and converged to the reference drive state.\n\n", len(ms))
 }
 
 func printDesign() {

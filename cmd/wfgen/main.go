@@ -35,6 +35,7 @@ func main() {
 		workdir = flag.String("workdir", "shared", "shared-drive workdir recorded in arguments")
 		out     = flag.String("o", "", "output file (default stdout)")
 		compact = flag.Bool("compact", false, "emit compact JSON for json/knative/local targets (generated instances need no indentation)")
+		mutate  = flag.String("mutate-task", "", "perturb this task's cpu-work after generation (for incremental re-execution experiments: the task and its descendants get new fingerprints)")
 		suite   = flag.Bool("suite", false, "generate the full 7-recipe benchmark suite instead")
 		sizes   = flag.String("sizes", "50,250", "comma-separated sizes for -suite")
 		dir     = flag.String("dir", "workflows", "output directory for -suite")
@@ -51,6 +52,11 @@ func main() {
 	w, err := wfgen.Generate(wfgen.Spec{Recipe: *recipe, NumTasks: *tasks, Seed: *seed, CPUWork: *cpuWork})
 	if err != nil {
 		fatal(err)
+	}
+	if *mutate != "" {
+		if err := wfgen.MutateTask(w, *mutate); err != nil {
+			fatal(err)
+		}
 	}
 	marshal := func(w *wfformat.Workflow) ([]byte, error) {
 		if *compact {

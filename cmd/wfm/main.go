@@ -19,6 +19,13 @@
 //     wfm -workflow blast.json -journal ./run-journal -crash-after-tasks 20
 //     wfm -workflow blast.json -journal ./run-journal -resume
 //
+//     Direct mode also supports incremental re-execution: -memoize
+//     <file> keeps a content-addressed task cache across runs, so an
+//     unchanged re-run invokes nothing and an edited workflow re-runs
+//     only the edited tasks and their descendants.
+//
+//     wfm -workflow blast.json -memoize ./blast.memo
+//
 //   - Simulated (-paradigm): provision the in-process platform for a
 //     Table II paradigm, translate, execute, and print the measured
 //     execution time, power, CPU, and memory.
@@ -42,6 +49,7 @@ import (
 
 	"wfserverless/internal/experiments"
 	"wfserverless/internal/journal"
+	"wfserverless/internal/memo"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfformat"
@@ -75,6 +83,8 @@ func main() {
 		breakerThreshold = flag.Float64("breaker-threshold", 0, "failure rate that opens the breaker (0: 0.5)")
 		breakerWindow    = flag.Int("breaker-window", 0, "sliding window of attempts per endpoint (0: 20)")
 		breakerCooldown  = flag.Float64("breaker-cooldown", 0, "open-state cooldown before probing, nominal seconds (0: 5)")
+
+		memoize = flag.String("memoize", "", "content-addressed memo cache file (direct mode): unchanged tasks with intact outputs are served from the cache instead of re-invoked")
 
 		journalDir     = flag.String("journal", "", "directory for the durable run journal (direct mode); enables crash recovery")
 		resume         = flag.Bool("resume", false, "resume the run recorded in -journal instead of starting fresh")
@@ -181,6 +191,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var cache *memo.Cache
+	if *memoize != "" {
+		cache, err = memo.Open(*memoize)
+		if err != nil {
+			fatal(err)
+		}
+		if dropped, repaired := cache.Recovered(); repaired {
+			fmt.Fprintf(os.Stderr, "wfm: memo cache was corrupt; dropped %d unusable byte(s), affected tasks will re-execute\n", dropped)
+		}
+	}
 	mgr, err := wfm.New(wfm.Options{
 		Drive:           drive,
 		TimeScale:       *timeScale,
@@ -207,6 +227,7 @@ func main() {
 		Monitor:       monitor,
 		Logger:        logger,
 		Journal:       jnl,
+		Memoize:       cache,
 		AfterTaskDone: afterDone,
 	})
 	if err != nil {
@@ -225,6 +246,11 @@ func main() {
 	if jnl != nil {
 		if cerr := jnl.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "wfm: closing journal:", cerr)
+		}
+	}
+	if cache != nil {
+		if cerr := cache.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "wfm: closing memo cache:", cerr)
 		}
 	}
 	if res != nil {
@@ -342,6 +368,10 @@ func printResult(res *wfm.Result, verbose bool) {
 		fmt.Printf("resume:    %d recorded completed, %d invocations skipped, %d re-executed (outputs vanished)\n",
 			r.RecordedCompleted, r.SkippedInvocations, r.Reexecuted)
 	}
+	if mr := res.Memo; mr != nil {
+		fmt.Printf("memoize:   %d hit(s), %d miss(es), %s of outputs served from cache (%d entries)\n",
+			mr.Hits, mr.Misses, byteCount(mr.SkippedOutputBytes), mr.CacheEntries)
+	}
 	var queue time.Duration
 	n := 0
 	for name, tr := range res.Tasks {
@@ -378,6 +408,20 @@ func printResult(res *wfm.Result, verbose bool) {
 			fmt.Printf("  %-40s phase=%-3d %8v -> %8v\n", tr.Name, tr.Phase, tr.Start, tr.End)
 		}
 	}
+}
+
+// byteCount renders n in a human scale (B, KiB, MiB, ...).
+func byteCount(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }
 
 func fatal(err error) {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"wfserverless/internal/journal"
+	"wfserverless/internal/memo"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
 	"wfserverless/internal/wfformat"
@@ -67,6 +68,12 @@ type RecoveryConfig struct {
 	// invariants must hold identically, since journaling sits above the
 	// transport.
 	Batching wfm.BatchOptions
+	// Memoize runs every trial with the content-addressed memo cache
+	// enabled alongside the journal: the crashed run populates the
+	// cache, the resume probes it, and the zero-duplicate invariant
+	// extends to memoized tasks — recovery and memoization must
+	// partition the work, never overlap it.
+	Memoize bool
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {
@@ -113,6 +120,9 @@ type RecoveryTrial struct {
 	RecordedCompleted  int
 	SkippedInvocations int
 	Reexecuted         int
+	// MemoHits counts resume-side tasks seeded from the memo cache
+	// rather than the journal (Memoize runs only).
+	MemoHits int
 
 	// DuplicateInvocations counts recovered (journal-verified) tasks the
 	// stub nonetheless executed more than once across both processes —
@@ -243,7 +253,7 @@ func newRecoveryEnv(cfg RecoveryConfig, faults bool, faultSeed int64) (*recovery
 
 // recoveryManager builds a manager over the env with retry settings
 // generous enough that injected faults never terminate a run.
-func recoveryManager(cfg RecoveryConfig, mode wfm.Scheduling, env *recoveryEnv, j *journal.Journal, afterDone func(int)) (*wfm.Manager, error) {
+func recoveryManager(cfg RecoveryConfig, mode wfm.Scheduling, env *recoveryEnv, j *journal.Journal, c *memo.Cache, afterDone func(int)) (*wfm.Manager, error) {
 	return wfm.New(wfm.Options{
 		Drive:         env.drive,
 		TimeScale:     cfg.TimeScale,
@@ -256,6 +266,7 @@ func recoveryManager(cfg RecoveryConfig, mode wfm.Scheduling, env *recoveryEnv, 
 		TaskTimeout:   60,
 		Batching:      cfg.Batching,
 		Journal:       j,
+		Memoize:       c,
 		AfterTaskDone: afterDone,
 	})
 }
@@ -269,7 +280,7 @@ func recoveryReference(ctx context.Context, cfg RecoveryConfig, mode wfm.Schedul
 		return nil, err
 	}
 	defer env.Close()
-	m, err := recoveryManager(cfg, mode, env, nil, nil)
+	m, err := recoveryManager(cfg, mode, env, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -297,6 +308,13 @@ func recoveryTrial(ctx context.Context, cfg RecoveryConfig, mode wfm.Scheduling,
 	if err != nil {
 		return nil, err
 	}
+	var c *memo.Cache
+	cachePath := dir + "/memo.cache"
+	if cfg.Memoize {
+		if c, err = memo.Open(cachePath); err != nil {
+			return nil, err
+		}
+	}
 
 	// Phase 1: run until crashAfter tasks have completed, then kill —
 	// cancel the run context and Abort the journal so its unsynced tail
@@ -304,7 +322,7 @@ func recoveryTrial(ctx context.Context, cfg RecoveryConfig, mode wfm.Scheduling,
 	runCtx, kill := context.WithCancel(ctx)
 	defer kill()
 	var once sync.Once
-	m, err := recoveryManager(cfg, mode, env, j, func(done int) {
+	m, err := recoveryManager(cfg, mode, env, j, c, func(done int) {
 		if done >= crashAfter {
 			once.Do(kill)
 		}
@@ -316,6 +334,9 @@ func recoveryTrial(ctx context.Context, cfg RecoveryConfig, mode wfm.Scheduling,
 	m.Run(runCtx, env.w) // error expected: the run was killed mid-flight
 	crashWall := time.Since(crashStart)
 	j.Abort()
+	if c != nil {
+		c.Close() // flush what the crashed run cached; resume reopens from disk
+	}
 
 	// Model storage loss: delete a few outputs the crashed run already
 	// published, forcing resume-time verification to re-execute their
@@ -340,7 +361,14 @@ func recoveryTrial(ctx context.Context, cfg RecoveryConfig, mode wfm.Scheduling,
 		return nil, err
 	}
 	defer j2.Close()
-	m2, err := recoveryManager(cfg, mode, env, j2, nil)
+	var c2 *memo.Cache
+	if cfg.Memoize {
+		if c2, err = memo.Open(cachePath); err != nil {
+			return nil, err
+		}
+		defer c2.Close()
+	}
+	m2, err := recoveryManager(cfg, mode, env, j2, c2, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -367,10 +395,15 @@ func recoveryTrial(ctx context.Context, cfg RecoveryConfig, mode wfm.Scheduling,
 		t.SkippedInvocations = res.Resume.SkippedInvocations
 		t.Reexecuted = res.Resume.Reexecuted
 	}
+	if res.Memo != nil {
+		t.MemoHits = int(res.Memo.Hits)
+	}
 	// A recovered task is one the journal recorded completed AND whose
-	// outputs survived: the stub must have executed it exactly once.
+	// outputs survived — and under Memoize, a memoized task is one the
+	// cache vouched for: either way the stub must have executed it
+	// exactly once.
 	for _, tr := range res.Tasks {
-		if tr.Recovered && env.counts.get(tr.Name) > 1 {
+		if (tr.Recovered || tr.Memoized) && env.counts.get(tr.Name) > 1 {
 			t.DuplicateInvocations++
 		}
 	}

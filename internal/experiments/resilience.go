@@ -6,8 +6,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 
+	"wfserverless/internal/memo"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/translator"
@@ -57,6 +60,13 @@ type ResilienceConfig struct {
 	// workflow roots recorded (1 records everything, 0 disables). The
 	// collected trace rides on each measurement for the caller to export.
 	TraceSample float64
+
+	// Memoize adds a warm re-run to each cell: the first (faulted) run
+	// populates a content-addressed memo cache, then the same workflow
+	// runs again through the same injector. Every task should be served
+	// from the cache — a memoized re-run is immune to endpoint
+	// flakiness because it never touches the endpoint.
+	Memoize bool
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -127,6 +137,13 @@ type ResilienceMeasurement struct {
 	// Trace carries the run's spans when TraceSample was set; nil
 	// otherwise.
 	Trace *wfm.Trace
+
+	// Memoize-run fields (Config.Memoize only): hits/misses of the warm
+	// re-run and its wall time. A healthy cell has MemoHits == Tasks and
+	// MemoMisses == 0 — the re-run survives the injector untouched.
+	MemoHits     int
+	MemoMisses   int
+	MemoWarmWall time.Duration
 }
 
 // Resilience runs the flaky-endpoint experiment in both scheduling
@@ -187,7 +204,7 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 		return nil, err
 	}
 
-	mgr, err := wfm.New(wfm.Options{
+	opts := wfm.Options{
 		Drive:           drive,
 		TimeScale:       cfg.TimeScale,
 		PhaseDelay:      1,
@@ -201,7 +218,23 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 		Breaker:         cfg.Breaker,
 		Batching:        cfg.Batching,
 		Tracer:          tracer,
-	})
+	}
+	var cachePath string
+	if cfg.Memoize {
+		dir, err := os.MkdirTemp("", "wfm-resilience-memo-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cachePath = filepath.Join(dir, "memo.cache")
+		c, err := memo.Open(cachePath)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		opts.Memoize = c
+	}
+	mgr, err := wfm.New(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +265,32 @@ func resilienceRun(ctx context.Context, cfg ResilienceConfig, base *wfformat.Wor
 	m.Retries = m.Attempts - m.Tasks
 	if tracer != nil {
 		m.Trace = wfm.TraceOf(res)
+	}
+
+	// Warm re-run: same workflow, same injector, cache reopened from
+	// disk. Every invocation the first run survived is now a cache hit
+	// the injector never sees.
+	if cfg.Memoize {
+		opts.Memoize.Close()
+		c2, err := memo.Open(cachePath)
+		if err != nil {
+			return nil, err
+		}
+		defer c2.Close()
+		opts.Memoize = c2
+		mgr2, err := wfm.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		res2, err := mgr2.Run(ctx, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resilience memoized re-run %s (%s): %w", base.Name, mode, err)
+		}
+		if res2.Memo != nil {
+			m.MemoHits = int(res2.Memo.Hits)
+			m.MemoMisses = int(res2.Memo.Misses)
+		}
+		m.MemoWarmWall = res2.Wall
 	}
 	return m, nil
 }

@@ -1,0 +1,301 @@
+// Package memo implements the durable content-addressed result cache
+// behind the manager's incremental re-execution mode: a mapping from
+// task fingerprint (wfformat.TaskFingerprints) to the output-file
+// manifest the task produced, persisted as an append-only CRC-checked
+// record file beside the journal and indexed in memory for O(1)
+// lookups on the probe path.
+//
+// Durability model: appends are buffered and flushed on Sync/Close, so
+// a crash can lose the most recent entries — never corrupt older ones.
+// That is the right trade for a cache: the journal (internal/journal)
+// is the intra-run durability story; the memo file only has to be
+// trustworthy, not complete. On Open, any corruption — bad magic, a
+// torn tail, a CRC mismatch, an undecodable payload — demotes the file
+// to the last provably-good prefix (worst case: a cold cache). A
+// corrupt file can therefore cost re-execution but never produce a
+// wrong hit.
+package memo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// magic identifies a memo cache file; the trailing digit is the format
+// version.
+const magic = "WFMEMO1\n"
+
+// maxRecord bounds one record's payload so a corrupt length prefix
+// cannot drive a huge allocation.
+const maxRecord = 1 << 24
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Output is one recorded output product of a memoized task: the name
+// and size the task declared, and the content address the shared drive
+// reported after the task published it.
+type Output struct {
+	Name string
+	Size int64
+	// Hash is the sharedfs content address; zero means the producing
+	// run's drive could not report one, and verification degrades to an
+	// existence check.
+	Hash uint64
+}
+
+// Cache is a durable fingerprint → output-manifest map. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu      sync.RWMutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	index   map[[32]byte][]Output
+	scratch []byte
+	failed  error // first append/flush error, sticky
+	closed  bool
+
+	recovered    bool
+	droppedBytes int64
+}
+
+// Open loads (or creates) the cache file at path. Corrupt or foreign
+// content never fails Open: the file is truncated back to its longest
+// valid prefix — an unrecognizable file becomes a cold cache — and the
+// repair is reported by Recovered.
+func Open(path string) (*Cache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("memo: %w", err)
+	}
+	c := &Cache{path: path, index: make(map[[32]byte][]Output)}
+	good := c.load(data)
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("memo: %w", err)
+	}
+	if good < int64(len(data)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("memo: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("memo: %w", err)
+	}
+	c.f = f
+	c.w = bufio.NewWriterSize(f, 64<<10)
+	if good == 0 {
+		if _, err := c.w.WriteString(magic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("memo: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// load replays data into the index and returns the byte offset of the
+// longest valid prefix (0 when even the magic is wrong).
+func (c *Cache) load(data []byte) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		c.recovered = true
+		c.droppedBytes = int64(len(data))
+		return 0
+	}
+	off := len(magic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n <= 0 || n > maxRecord || len(rest) < 4+n+4 {
+			break
+		}
+		payload := rest[4 : 4+n]
+		crc := binary.LittleEndian.Uint32(rest[4+n:])
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		fp, outs, ok := decodeEntry(payload)
+		if !ok {
+			break
+		}
+		c.index[fp] = outs // duplicate fingerprints: last record wins
+		off += 4 + n + 4
+	}
+	if off < len(data) {
+		c.recovered = true
+		c.droppedBytes = int64(len(data) - off)
+	}
+	return int64(off)
+}
+
+func decodeEntry(b []byte) (fp [32]byte, outs []Output, ok bool) {
+	if len(b) < len(fp) {
+		return fp, nil, false
+	}
+	copy(fp[:], b)
+	b = b[len(fp):]
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 || cnt > maxRecord {
+		return fp, nil, false
+	}
+	b = b[n:]
+	outs = make([]Output, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		nameLen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < nameLen {
+			return fp, nil, false
+		}
+		name := string(b[n : n+int(nameLen)])
+		b = b[n+int(nameLen):]
+		size, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fp, nil, false
+		}
+		b = b[n:]
+		hash, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fp, nil, false
+		}
+		b = b[n:]
+		outs = append(outs, Output{Name: name, Size: int64(size), Hash: hash})
+	}
+	return fp, outs, len(b) == 0
+}
+
+func appendEntry(b []byte, fp [32]byte, outs []Output) []byte {
+	b = append(b, fp[:]...)
+	b = binary.AppendUvarint(b, uint64(len(outs)))
+	for _, o := range outs {
+		b = binary.AppendUvarint(b, uint64(len(o.Name)))
+		b = append(b, o.Name...)
+		b = binary.AppendUvarint(b, uint64(o.Size))
+		b = binary.AppendUvarint(b, o.Hash)
+	}
+	return b
+}
+
+// Lookup returns the output manifest recorded for fp. The returned
+// slice is shared and must not be mutated.
+func (c *Cache) Lookup(fp [32]byte) ([]Output, bool) {
+	c.mu.RLock()
+	outs, ok := c.index[fp]
+	c.mu.RUnlock()
+	return outs, ok
+}
+
+// Len returns the number of distinct fingerprints cached.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.index)
+}
+
+// Put records fp → outs, appending a record to the file (buffered; see
+// Sync) unless an identical entry is already cached. Write errors are
+// sticky and also reported by Err — a sick disk degrades the cache to
+// in-memory, it does not fail the run.
+func (c *Cache) Put(fp [32]byte, outs []Output) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.index[fp]; ok && sameOutputs(prev, outs) {
+		return c.failed
+	}
+	c.index[fp] = append([]Output(nil), outs...)
+	c.scratch = appendEntry(c.scratch[:0], fp, c.index[fp])
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(c.scratch)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(c.scratch, castagnoli))
+	if c.failed == nil {
+		_, err := c.w.Write(hdr[:])
+		if err == nil {
+			_, err = c.w.Write(c.scratch)
+		}
+		if err == nil {
+			_, err = c.w.Write(crc[:])
+		}
+		if err != nil {
+			c.failed = fmt.Errorf("memo: append: %w", err)
+		}
+	}
+	return c.failed
+}
+
+func sameOutputs(a, b []Output) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sync flushes buffered appends through to the file system.
+func (c *Cache) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncLocked()
+}
+
+func (c *Cache) syncLocked() error {
+	if err := c.w.Flush(); err != nil {
+		if c.failed == nil {
+			c.failed = fmt.Errorf("memo: flush: %w", err)
+		}
+		return c.failed
+	}
+	if err := c.f.Sync(); err != nil {
+		if c.failed == nil {
+			c.failed = fmt.Errorf("memo: sync: %w", err)
+		}
+		return c.failed
+	}
+	return c.failed
+}
+
+// Close flushes and closes the file. The in-memory index stays usable.
+// Closing an already-closed cache is a no-op.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.syncLocked()
+	if cerr := c.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("memo: close: %w", cerr)
+	}
+	return err
+}
+
+// Err reports the first append/flush failure, if any.
+func (c *Cache) Err() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.failed
+}
+
+// Path returns the cache's file path.
+func (c *Cache) Path() string { return c.path }
+
+// Recovered reports whether Open found and repaired corruption, and
+// how many bytes of unusable tail (or foreign content) were dropped.
+func (c *Cache) Recovered() (dropped int64, repaired bool) {
+	return c.droppedBytes, c.recovered
+}

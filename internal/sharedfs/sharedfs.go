@@ -77,6 +77,20 @@ func contentHash(name string, size int64) uint64 {
 	return h
 }
 
+// ContentAddress returns the content address a bundled drive reports
+// for a pattern file of the given name and declared size, without the
+// file having to exist anywhere. It is the same value ContentHash
+// returns once the file is staged, which is what makes fingerprints
+// computed before staging agree with fingerprints computed after: the
+// memoization layer addresses a workflow's external inputs through
+// this function whenever the drive cannot answer (file not yet
+// staged), and through ContentHash when it can (file present, possibly
+// with a size diverging from the declaration — which must, and does,
+// change the address).
+func ContentAddress(name string, size int64) uint64 {
+	return contentHash(name, size)
+}
+
 // Watcher is an optional Drive extension: drives that can push change
 // notifications let WaitFor wake the instant a file is published instead
 // of burning a poll loop. MemDrive implements it; DiskDrive and

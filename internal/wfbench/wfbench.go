@@ -306,19 +306,37 @@ func (w *Worker) execute(ctx context.Context, req *Request, prep *BatchPrep) (*R
 		if prep != nil {
 			span.SetAttr("verified", "batch")
 			missing = prep.missingOf(req.Inputs)
-		} else if !sharedfs.AllExist(cfg.Drive, req.Inputs) {
-			waitCtx := ctx
-			if cfg.InputWait > 0 {
-				var cancel context.CancelFunc
-				waitCtx, cancel = context.WithTimeout(ctx, cfg.InputWait)
-				defer cancel()
-			} else {
-				var cancel context.CancelFunc
-				waitCtx, cancel = context.WithTimeout(ctx, time.Nanosecond)
-				defer cancel()
+		} else {
+			pending := req.Inputs
+			if hasher, ok := cfg.Drive.(sharedfs.Hasher); ok {
+				// Content-address fast path: resolve each input against
+				// the drive's metadata index instead of scanning for
+				// existence; only the genuinely-absent subset falls
+				// through to the bounded wait.
+				span.SetAttr("verified", "content-address")
+				pending = nil
+				for _, name := range req.Inputs {
+					if _, ok := hasher.ContentHash(name); !ok {
+						pending = append(pending, name)
+					}
+				}
+			} else if sharedfs.AllExist(cfg.Drive, req.Inputs) {
+				pending = nil
 			}
-			poll := cfg.InputWait / 20
-			missing, _ = sharedfs.WaitFor(waitCtx, cfg.Drive, req.Inputs, poll)
+			if len(pending) > 0 {
+				waitCtx := ctx
+				if cfg.InputWait > 0 {
+					var cancel context.CancelFunc
+					waitCtx, cancel = context.WithTimeout(ctx, cfg.InputWait)
+					defer cancel()
+				} else {
+					var cancel context.CancelFunc
+					waitCtx, cancel = context.WithTimeout(ctx, time.Nanosecond)
+					defer cancel()
+				}
+				poll := cfg.InputWait / 20
+				missing, _ = sharedfs.WaitFor(waitCtx, cfg.Drive, pending, poll)
+			}
 		}
 		if len(missing) > 0 {
 			err := fmt.Errorf("wfbench: %s: missing inputs %v", req.Name, missing)

@@ -116,6 +116,74 @@ func TestExecuteMissingInputFailsFast(t *testing.T) {
 	}
 }
 
+// existsCountingDrive counts Exists calls so tests can prove the
+// content-address fast path verifies inputs from the hash index alone.
+type existsCountingDrive struct {
+	*sharedfs.MemDrive
+	mu     sync.Mutex
+	exists int
+}
+
+func (d *existsCountingDrive) Exists(name string) bool {
+	d.mu.Lock()
+	d.exists++
+	d.mu.Unlock()
+	return d.MemDrive.Exists(name)
+}
+
+// plainDrive hides MemDrive's Hasher implementation, modelling a drive
+// without content addressing.
+type plainDrive struct{ inner *sharedfs.MemDrive }
+
+func (d plainDrive) WriteFile(name string, size int64) error { return d.inner.WriteFile(name, size) }
+func (d plainDrive) Stat(name string) (int64, error)         { return d.inner.Stat(name) }
+func (d plainDrive) Exists(name string) bool                 { return d.inner.Exists(name) }
+func (d plainDrive) List() []string                          { return d.inner.List() }
+func (d plainDrive) Remove(name string) error                { return d.inner.Remove(name) }
+func (d plainDrive) TotalBytes() int64                       { return d.inner.TotalBytes() }
+
+// TestExecuteContentAddressFastPath: on a Hasher drive, single-task
+// input verification resolves through the content-address index and
+// never falls back to per-file existence scans.
+func TestExecuteContentAddressFastPath(t *testing.T) {
+	drive := &existsCountingDrive{MemDrive: sharedfs.NewMem()}
+	drive.WriteFile("a.txt", 10)
+	drive.WriteFile("b.txt", 20)
+	b := testBench(t, Config{Drive: drive})
+	w := b.NewWorker()
+	r := req("f")
+	r.Inputs = []string{"a.txt", "b.txt"}
+	resp, err := w.Execute(context.Background(), r)
+	if err != nil || !resp.OK {
+		t.Fatalf("execute: %v (resp %+v)", err, resp)
+	}
+	drive.mu.Lock()
+	defer drive.mu.Unlock()
+	if drive.exists != 0 {
+		t.Fatalf("fast path made %d Exists calls, want 0", drive.exists)
+	}
+}
+
+// TestExecutePlainDriveStillVerifies: a drive without ContentHash keeps
+// the original existence-scan behaviour — present inputs pass, absent
+// inputs fail.
+func TestExecutePlainDriveStillVerifies(t *testing.T) {
+	inner := sharedfs.NewMem()
+	inner.WriteFile("a.txt", 10)
+	b := testBench(t, Config{Drive: plainDrive{inner}})
+	w := b.NewWorker()
+	r := req("f")
+	r.Inputs = []string{"a.txt"}
+	if resp, err := w.Execute(context.Background(), r); err != nil || !resp.OK {
+		t.Fatalf("present input rejected: %v (resp %+v)", err, resp)
+	}
+	r2 := req("g")
+	r2.Inputs = []string{"gone.txt"}
+	if _, err := w.Execute(context.Background(), r2); err == nil {
+		t.Fatal("absent input accepted on plain drive")
+	}
+}
+
 func TestExecuteWaitsForLateInput(t *testing.T) {
 	drive := sharedfs.NewMem()
 	b := testBench(t, Config{Drive: drive, InputWait: 500 * time.Millisecond})

@@ -1,0 +1,131 @@
+package wfformat
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"wfserverless/internal/dag"
+)
+
+// TaskFingerprints computes a content fingerprint per task of a
+// compiled workflow, ID-aligned with the CSR. A task's fingerprint
+// changes iff the task itself or one of its ancestors changed: each
+// fingerprint chains the task's local content digest with its parents'
+// fingerprints (in the CSR's canonical parent order), so an edit
+// anywhere upstream propagates to every descendant in one O(V+E)
+// bottom-up pass over the topological order — no transitive input
+// walk per task.
+//
+// The local digest covers the same per-task fields as the
+// whole-workflow Fingerprint — type, category, cores, runtime,
+// program, the WfBench argument block, and the file set with sizes,
+// all in canonical sorted order — but not the Parents/Children name
+// lists: dependency structure is covered transitively through the
+// chained parent fingerprints. Deployment- and instance-scoped fields
+// (api_url, ID, StartedAt) stay excluded, so the same workflow
+// retargeted at a different platform deployment hits the same cache
+// entries.
+//
+// External inputs — input files no task of the workflow produces — are
+// folded in through ext, which maps a declared (name, size) to the
+// file's content address. Callers with a drive pass a closure that
+// consults sharedfs.Hasher for files already present (so a drive file
+// whose content diverged from the declaration invalidates its
+// consumers) and falls back to sharedfs.ContentAddress otherwise (so a
+// fingerprint computed before staging equals one computed after). A
+// nil ext hashes the declared size alone.
+func TaskFingerprints(c *dag.CSR, tasks []*Task, ext func(name string, size int64) uint64) []Hash {
+	n := len(tasks)
+	fps := make([]Hash, n)
+	// Files produced by any task of the workflow; everything else a
+	// task reads is an external input.
+	produced := make(map[string]struct{}, n)
+	for _, t := range tasks {
+		for _, f := range t.Files {
+			if f.Link == LinkOutput {
+				produced[f.Name] = struct{}{}
+			}
+		}
+	}
+	d := digester{h: sha256.New()}
+	for _, id := range c.TopoOrder() {
+		t := tasks[id]
+		d.h.Reset()
+		hashTaskContent(&d, t)
+		// External-input content addresses, in the file set's canonical
+		// (link, name) order.
+		files := canonicalFiles(t)
+		for _, f := range files {
+			if f.Link != LinkInput {
+				continue
+			}
+			if _, ok := produced[f.Name]; ok {
+				continue
+			}
+			d.str(f.Name)
+			if ext != nil {
+				d.num(ext(f.Name, f.SizeInBytes))
+			} else {
+				d.num(uint64(f.SizeInBytes))
+			}
+		}
+		// Chain the parents' fingerprints. CSR parent views are sorted
+		// by ID, and IDs are interned in sorted-name order, so the chain
+		// order is canonical regardless of input slice ordering.
+		parents := c.Parents(id)
+		d.num(uint64(len(parents)))
+		for _, pid := range parents {
+			d.h.Write(fps[pid][:])
+		}
+		d.h.Sum(fps[id][:0])
+	}
+	return fps
+}
+
+// hashTaskContent digests the fields that define what one task runs:
+// the per-task portion of Fingerprint minus the dependency name lists.
+func hashTaskContent(d *digester, t *Task) {
+	d.str(t.Name)
+	d.str(t.Type)
+	d.str(t.Category)
+	d.num(uint64(t.Cores))
+	d.f64(t.RuntimeInSeconds)
+	d.str(t.Command.Program)
+	d.num(uint64(len(t.Command.Arguments)))
+	for _, a := range t.Command.Arguments {
+		d.str(a.Name)
+		d.f64(a.PercentCPU)
+		d.f64(a.CPUWork)
+		d.num(uint64(a.MemBytes))
+		d.str(a.Workdir)
+		d.strs(sortedCopy(a.Inputs))
+		outs := make([]string, 0, len(a.Out))
+		for k := range a.Out {
+			outs = append(outs, k)
+		}
+		sort.Strings(outs)
+		d.num(uint64(len(outs)))
+		for _, k := range outs {
+			d.str(k)
+			d.num(uint64(a.Out[k]))
+		}
+	}
+	files := canonicalFiles(t)
+	d.num(uint64(len(files)))
+	for _, f := range files {
+		d.str(f.Link)
+		d.str(f.Name)
+		d.num(uint64(f.SizeInBytes))
+	}
+}
+
+// canonicalFiles returns the task's files in (link, name) order,
+// copying only when the slice is not already sorted.
+func canonicalFiles(t *Task) []File {
+	files := t.Files
+	if !sort.SliceIsSorted(files, fileLess(files)) {
+		files = append([]File(nil), t.Files...)
+		sort.Slice(files, fileLess(files))
+	}
+	return files
+}

@@ -89,6 +89,25 @@ func Generate(s Spec) (*wfformat.Workflow, error) {
 	return w, nil
 }
 
+// MutateTask deterministically perturbs one task's computational
+// content: its cpu-work (and nominal runtime) grow by 10%, plus a
+// fixed offset so zero-work tasks change too. The workflow's structure
+// and file manifest are untouched, so under content-addressed
+// memoization exactly this task and its transitive descendants acquire
+// new fingerprints — the single-task-edit half of an incremental
+// re-execution experiment.
+func MutateTask(w *wfformat.Workflow, name string) error {
+	t, ok := w.Tasks[name]
+	if !ok {
+		return fmt.Errorf("wfgen: mutate-task: no task named %q", name)
+	}
+	for i := range t.Command.Arguments {
+		t.Command.Arguments[i].CPUWork = t.Command.Arguments[i].CPUWork*1.1 + 1
+	}
+	t.RuntimeInSeconds = t.RuntimeInSeconds*1.1 + 0.001
+	return nil
+}
+
 // SuiteSpec generates one instance per recipe at each size — the
 // paper's benchmark suite (7 workflows x sizes).
 type SuiteSpec struct {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wfserverless/internal/recipes"
+	"wfserverless/internal/wfformat"
 )
 
 func TestGenerateBasic(t *testing.T) {
@@ -118,5 +119,73 @@ func TestGenerateSuiteClampsToMinTasks(t *testing.T) {
 		if in.Workflow.Len() < r.MinTasks() {
 			t.Fatalf("%s generated below MinTasks", in.Spec.Recipe)
 		}
+	}
+}
+
+func TestMutateTaskScopesFingerprints(t *testing.T) {
+	fps := func(w *wfformat.Workflow) map[string]wfformat.Hash {
+		t.Helper()
+		csr, tasks, err := w.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := wfformat.TaskFingerprints(csr, tasks, nil)
+		out := make(map[string]wfformat.Hash, len(all))
+		for _, id := range csr.TopoOrder() {
+			out[csr.Name(id)] = all[id]
+		}
+		return out
+	}
+	descendants := func(w *wfformat.Workflow, root string) map[string]bool {
+		t.Helper()
+		csr, _, err := w.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := make(map[string]int32, csr.Len())
+		for _, id := range csr.TopoOrder() {
+			byName[csr.Name(id)] = id
+		}
+		out := map[string]bool{}
+		stack := []int32{byName[root]}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if out[csr.Name(id)] {
+				continue
+			}
+			out[csr.Name(id)] = true
+			stack = append(stack, csr.Children(id)...)
+		}
+		return out
+	}
+
+	base, err := Generate(Spec{Recipe: "blast", NumTasks: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := Generate(Spec{Recipe: "blast", NumTasks: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for name := range base.Tasks {
+		victim = name
+		break
+	}
+	if err := MutateTask(mutated, victim); err != nil {
+		t.Fatal(err)
+	}
+	want := descendants(base, victim)
+	before, after := fps(base), fps(mutated)
+	for name := range before {
+		changed := before[name] != after[name]
+		if changed != want[name] {
+			t.Errorf("task %s: fingerprint changed=%t, want %t", name, changed, want[name])
+		}
+	}
+
+	if err := MutateTask(base, "no-such-task"); err == nil {
+		t.Fatal("unknown task accepted")
 	}
 }

@@ -58,6 +58,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 	root, finishTrace := m.startRunTrace(w.Name, res)
 	defer finishTrace()
 	m.traceReplay(root, st)
+	m.traceMemo(root, st)
 	mon := m.opts.Monitor
 	mon.runStarted(w.Name, ScheduleDependency, p.len())
 	if l := m.opts.Logger; l != nil {
@@ -70,22 +71,21 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 				"workflow", w.Name, "wall", res.Wall, "failed", len(res.Failed))
 		}
 	}()
-	if err := m.stageHeader(w, res, start); err != nil {
+	if err := m.stageHeader(p, res, start); err != nil {
 		return res, err
 	}
 	n := p.len()
 
-	// Fold the journal's verified done-set into the scheduler before any
-	// dispatch: recovered tasks are recorded as results, never invoked,
-	// and the ready frontier starts where the crashed run stopped.
-	if st.rec != nil && len(st.rec.doneIDs) > 0 {
-		if err := sched.SeedCompletedIDs(st.rec.doneIDs); err != nil {
-			return res, fmt.Errorf("wfm: seeding resume state: %w", err)
+	// Fold the pre-completed set — the journal's verified done-set plus
+	// the memo cache's verified hits — into the scheduler before any
+	// dispatch: seeded tasks are recorded as results, never invoked,
+	// and the ready frontier starts past them.
+	if seeds := st.seedIDs(); len(seeds) > 0 {
+		if err := sched.SeedCompletedIDs(seeds); err != nil {
+			return res, fmt.Errorf("wfm: seeding pre-completed state: %w", err)
 		}
-		for _, id := range st.rec.doneIDs {
-			res.Tasks[p.tasks[id].Name] = recoveredResult(p, csr, st, id)
-		}
-		n -= len(st.rec.doneIDs)
+		seedResults(p, csr, st, seeds, res.Tasks)
+		n -= len(seeds)
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -238,6 +238,9 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 	mon.taskStarted()
 	ts := m.opts.Tracer.StartChildOf(root, task.Name)
 	ts.SetStart(start.Add(item.ready))
+	if st.memo != nil {
+		ts.SetAttr("memo_hit", "false")
+	}
 	finish := func() {
 		tr.End = time.Since(start)
 		st.taskDone(item.id, p, tr)

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,7 @@ type invocationPlan struct {
 	reqs   []*http.Request  // per-task request scaffolding, never sent directly
 	bodies []byte           // payload arena: all request bodies back to back
 	off    []int32          // len(tasks)+1 offsets into bodies
+	ext    []wfformat.File  // external inputs: the header's staging manifest
 }
 
 // sharedJSONHeader is the one header map every invocation shares. It
@@ -107,7 +109,44 @@ func newInvocationPlan(tasks []*wfformat.Task) (*invocationPlan, error) {
 		req.ContentLength = int64(len(body))
 		req.GetBody = func() (io.ReadCloser, error) { return newArenaBody(body), nil }
 	}
+	p.ext = externalInputs(tasks)
 	return p, nil
+}
+
+// externalInputs renders the staging manifest — every input file no
+// task produces — over the ID-aligned task slice, with both interning
+// maps sized up front from the real file count. Equivalent to
+// wfformat.(*Workflow).ExternalInputs, but resolved once at plan time:
+// a memoized or resumed re-run must not pay a full file-manifest
+// rescan (and its map rehashing) inside the execution wall when
+// stageHeader fires.
+func externalInputs(tasks []*wfformat.Task) []wfformat.File {
+	files := 0
+	for _, t := range tasks {
+		files += len(t.Files)
+	}
+	produced := make(map[string]bool, files)
+	for _, t := range tasks {
+		for _, f := range t.Files {
+			if f.Link == wfformat.LinkOutput {
+				produced[f.Name] = true
+			}
+		}
+	}
+	seen := make(map[string]wfformat.File, len(tasks))
+	for _, t := range tasks {
+		for _, f := range t.Files {
+			if f.Link == wfformat.LinkInput && !produced[f.Name] {
+				seen[f.Name] = f
+			}
+		}
+	}
+	out := make([]wfformat.File, 0, len(seen))
+	for _, f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // body returns the task's pre-encoded WfBench request: a view into the

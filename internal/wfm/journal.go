@@ -39,6 +39,12 @@ const (
 	// (outputs present, invocation skipped), and re-executed (outputs
 	// vanished) counts.
 	recRunResumed uint8 = 6
+	// recTaskMemoized marks a task seeded as completed from the memo
+	// cache (Options.Memoize): same payload as recTaskCompleted — id
+	// plus output names and sizes — and treated identically on resume,
+	// so a crashed memoized run never re-probes its way into
+	// re-invoking a task this run already accounted for.
+	recTaskMemoized uint8 = 7
 )
 
 // journalRunHeaderVersion is bumped on incompatible payload changes.
@@ -91,9 +97,10 @@ func decodeRunHeader(data []byte) (*runHeader, error) {
 // surfaced as a Result warning.
 func (o *Options) optionsHash() uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "s=%d c=%t k=%t r=%d t=%g i=%g p=%g",
+	fmt.Fprintf(h, "s=%d c=%t k=%t r=%d t=%g i=%g p=%g m=%t",
 		o.Scheduling, o.ContinueOnError, o.SkipStageInputs,
-		o.Retries, o.TaskTimeout, o.InputWait, o.PhaseDelay)
+		o.Retries, o.TaskTimeout, o.InputWait, o.PhaseDelay,
+		o.Memoize != nil)
 	return h.Sum64()
 }
 
@@ -294,6 +301,18 @@ func (rj *runJournal) taskCompleted(id int32, t *wfformat.Task) {
 	rj.mu.Unlock()
 }
 
+// taskMemoized records a cache-hit task; the payload matches
+// recTaskCompleted so recovery treats both as completions.
+func (rj *runJournal) taskMemoized(id int32, t *wfformat.Task) {
+	if rj == nil {
+		return
+	}
+	rj.mu.Lock()
+	rj.scratch = appendTaskCompleted(rj.scratch[:0], id, t)
+	rj.appendLocked(recTaskMemoized, rj.scratch)
+	rj.mu.Unlock()
+}
+
 func (rj *runJournal) taskFailed(id int32, skipped bool, err error) {
 	if rj == nil {
 		return
@@ -356,12 +375,13 @@ type recovery struct {
 	report   ResumeReport
 }
 
-// runState threads journaling and resume context through both run
-// loops. A fresh, unjournaled run carries an all-nil state; every
-// accessor tolerates that.
+// runState threads journaling, resume, and memoization context through
+// both run loops. A fresh, unjournaled, unmemoized run carries an
+// all-nil state; every accessor tolerates that.
 type runState struct {
 	rj        *runJournal
 	rec       *recovery
+	memo      *memoState
 	completed atomic.Int64
 	afterDone func(int)
 }
@@ -372,15 +392,65 @@ func (st *runState) recoveredID(id int32) bool {
 	return st.rec != nil && st.rec.doneSet[id]
 }
 
+// memoizedID reports whether id was seeded from the memo cache.
+func (st *runState) memoizedID(id int32) bool {
+	return st.memo != nil && st.memo.hitSet[id]
+}
+
+// seededID reports whether id starts the run already completed — by
+// journal recovery or by a memo-cache hit — and must not be invoked.
+func (st *runState) seededID(id int32) bool {
+	return st.recoveredID(id) || st.memoizedID(id)
+}
+
+// hasSeeds reports whether any task is pre-completed.
+func (st *runState) hasSeeds() bool {
+	return (st.rec != nil && len(st.rec.doneIDs) > 0) ||
+		(st.memo != nil && len(st.memo.hitIDs) > 0)
+}
+
+// seedIDs merges the recovered and memoized ID sets, ascending. The
+// sets are disjoint (the memo probe skips journal-recovered tasks) and
+// each is already sorted, so this is a plain two-way merge.
+func (st *runState) seedIDs() []int32 {
+	var a, b []int32
+	if st.rec != nil {
+		a = st.rec.doneIDs
+	}
+	if st.memo != nil {
+		b = st.memo.hitIDs
+	}
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	for len(a) > 0 && len(b) > 0 {
+		if a[0] < b[0] {
+			out = append(out, a[0])
+			a = a[1:]
+		} else {
+			out = append(out, b[0])
+			b = b[1:]
+		}
+	}
+	out = append(out, a...)
+	return append(out, b...)
+}
+
 // taskDone is the post-completion bookkeeping shared by both modes:
-// journal the outcome, then fire the crash-injection / progress hook
-// with the cumulative in-process completion count.
+// journal the outcome, feed the memo cache, then fire the
+// crash-injection / progress hook with the cumulative in-process
+// completion count.
 func (st *runState) taskDone(id int32, p *invocationPlan, tr *TaskResult) {
 	if tr.Err != nil {
 		st.rj.taskFailed(id, false, tr.Err)
 		return
 	}
 	st.rj.taskCompleted(id, p.tasks[id])
+	st.memo.put(id, p.tasks[id])
 	n := int(st.completed.Add(1))
 	if st.afterDone != nil {
 		st.afterDone(n)
@@ -416,7 +486,10 @@ func (m *Manager) recoverRun(w *wfformat.Workflow, n int, recs []journal.Record,
 				rec.attempts[id]++
 				rec.report.PriorAttempts++
 			}
-		case recTaskCompleted:
+		case recTaskCompleted, recTaskMemoized:
+			// A memoized task is a completion from recovery's point of
+			// view: its products are on the drive (verified below like any
+			// other) and it must not be re-invoked on resume.
 			d := payload{b: r.Data}
 			id := int32(d.uvarint())
 			cnt := int(d.uvarint())
@@ -504,6 +577,15 @@ type JournalSummary struct {
 	CompletedTasks int
 	FailedTasks    int
 	SkippedTasks   int
+	// MemoizedTasks is the number of distinct tasks seeded from the
+	// memo cache instead of executing; MemoSkippedBytes sums the output
+	// sizes those hits did not have to recompute. MemoReexecuted counts
+	// memoized tasks that nonetheless have an execution attempt in the
+	// same journal — a cache hit later invalidated (outputs vanished
+	// between crash and resume) and re-run.
+	MemoizedTasks    int
+	MemoSkippedBytes int64
+	MemoReexecuted   int
 	// Resumes lists resume markers in order.
 	Resumes []ResumeMarker
 	// Ends lists run-end markers in order.
@@ -551,6 +633,8 @@ func kindName(k uint8) string {
 		return "run-end"
 	case recRunResumed:
 		return "run-resumed"
+	case recTaskMemoized:
+		return "task-memoized"
 	}
 	return fmt.Sprintf("kind-%d", k)
 }
@@ -583,6 +667,7 @@ func ReadRunJournal(path string) (*JournalSummary, error) {
 	}
 	completed := make(map[int32]bool)
 	failed := make(map[int32]bool)
+	memoized := make(map[int32]bool)
 	for _, r := range rep.Records {
 		s.EventCounts[kindName(r.Kind)]++
 		d := payload{b: r.Data}
@@ -609,6 +694,19 @@ func ReadRunJournal(path string) (*JournalSummary, error) {
 			id := int32(d.uvarint())
 			if d.err == nil {
 				completed[id] = true
+			}
+		case recTaskMemoized:
+			id := int32(d.uvarint())
+			cnt := int(d.uvarint())
+			var bytes int64
+			for i := 0; i < cnt && d.err == nil; i++ {
+				d.string()
+				bytes += int64(d.uvarint())
+			}
+			if d.err == nil {
+				memoized[id] = true
+				completed[id] = true
+				s.MemoSkippedBytes += bytes
 			}
 		case recTaskFailed:
 			id := int32(d.uvarint())
@@ -638,6 +736,12 @@ func ReadRunJournal(path string) (*JournalSummary, error) {
 	}
 	s.CompletedTasks = len(completed)
 	s.FailedTasks = len(failed)
+	s.MemoizedTasks = len(memoized)
+	for id := range memoized {
+		if s.Attempts[id] > 0 {
+			s.MemoReexecuted++
+		}
+	}
 	return s, nil
 }
 

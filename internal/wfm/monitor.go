@@ -34,6 +34,9 @@ type Monitor struct {
 
 	breakersOpen atomic.Int64
 
+	memoHits   atomic.Int64 // tasks seeded from the memo cache, never invoked
+	memoMisses atomic.Int64 // tasks probed without a usable cache entry
+
 	latency metrics.Histogram // wall seconds per completed task invocation
 }
 
@@ -86,6 +89,14 @@ func (mo *Monitor) taskSkipped() {
 	}
 }
 
+// memoProbed accounts one run's memo-cache probe outcome.
+func (mo *Monitor) memoProbed(hits, misses int) {
+	if mo != nil {
+		mo.memoHits.Add(int64(hits))
+		mo.memoMisses.Add(int64(misses))
+	}
+}
+
 func (mo *Monitor) retried() {
 	if mo != nil {
 		mo.retries.Add(1)
@@ -123,6 +134,8 @@ type Snapshot struct {
 	Failed     int64
 	Retries    int64
 	OpenBreak  int64
+	MemoHits   int64
+	MemoMisses int64
 }
 
 // Snapshot returns the current progress counters.
@@ -139,6 +152,8 @@ func (mo *Monitor) Snapshot() Snapshot {
 	s.Failed = mo.failed.Load()
 	s.Retries = mo.retries.Load()
 	s.OpenBreak = mo.breakersOpen.Load()
+	s.MemoHits = mo.memoHits.Load()
+	s.MemoMisses = mo.memoMisses.Load()
 	return s
 }
 
@@ -176,6 +191,12 @@ func (mo *Monitor) WriteMetrics(w io.Writer) error {
 	p("# HELP wfm_breakers_open Circuit breakers currently open.\n")
 	p("# TYPE wfm_breakers_open gauge\n")
 	p("wfm_breakers_open %d\n", s.OpenBreak)
+	p("# HELP wfm_memo_hits_total Tasks seeded from the memo cache, never invoked.\n")
+	p("# TYPE wfm_memo_hits_total counter\n")
+	p("wfm_memo_hits_total %d\n", s.MemoHits)
+	p("# HELP wfm_memo_misses_total Tasks probed without a usable memo-cache entry.\n")
+	p("# TYPE wfm_memo_misses_total counter\n")
+	p("wfm_memo_misses_total %d\n", s.MemoMisses)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,7 @@ import (
 
 	"wfserverless/internal/dag"
 	"wfserverless/internal/journal"
+	"wfserverless/internal/memo"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfbench"
@@ -186,6 +187,19 @@ type Options struct {
 	// fresh directory); Resume requires it to hold a matching run. Nil
 	// disables journaling; the hot path is identical.
 	Journal *journal.Journal
+	// Memoize, when set, enables content-addressed incremental
+	// re-execution across runs: before any dispatch the manager
+	// resolves every task's fingerprint bottom-up over the compiled DAG
+	// (wfformat.TaskFingerprints), probes the cache, and seeds tasks
+	// whose fingerprint is cached and whose recorded outputs still
+	// verify on the shared drive as completed — they are never invoked
+	// and appear in the Result with Memoized=true. Successful
+	// completions populate the cache. A hit whose outputs vanished (or
+	// diverged, on content-addressed drives) re-runs, exactly like
+	// Resume's re-executed tasks. Composes with Journal: cache hits are
+	// journaled as task-memoized records and count as completions on
+	// resume. Nil disables memoization; the hot path is identical.
+	Memoize *memo.Cache
 	// AfterTaskDone, when set, is called synchronously after each task
 	// completes successfully (and after its completion is journaled),
 	// with the cumulative count of tasks completed by this process. It
@@ -284,8 +298,13 @@ type TaskResult struct {
 	// it completed in a previous process and was not re-invoked. Its
 	// timings are zero and Response is nil.
 	Recovered bool
-	Response  *wfbench.Response
-	Err       error
+	// Memoized marks a cache-hit task under Options.Memoize: an earlier
+	// run completed identical content and its outputs verified on the
+	// drive, so it was seeded as completed and never invoked. Its
+	// timings are zero and Response is nil.
+	Memoized bool
+	Response *wfbench.Response
+	Err      error
 }
 
 // QueueWait returns the ready→start queueing latency: how long the task
@@ -327,6 +346,9 @@ type Result struct {
 	// Resume summarizes what a resumed run recovered from its journal;
 	// nil for fresh runs.
 	Resume *ResumeReport
+	// Memo summarizes what the memo cache contributed; nil unless
+	// Options.Memoize was set.
+	Memo *MemoReport
 	// TraceID identifies the run's distributed trace when the run was
 	// sampled (Options.Tracer set and the root span recorded).
 	TraceID string
@@ -417,6 +439,9 @@ func (m *Manager) prepare(w *wfformat.Workflow) (*dag.CSR, *invocationPlan, erro
 // with a run-end record whose status reflects how the loop exited.
 func (m *Manager) run(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan, rec *recovery) (*Result, error) {
 	st := &runState{rec: rec, afterDone: m.opts.AfterTaskDone}
+	if m.opts.Memoize != nil {
+		st.memo = m.probeMemo(csr, p, rec)
+	}
 	if j := m.opts.Journal; j != nil {
 		var prior []int32
 		if rec != nil {
@@ -438,8 +463,16 @@ func (m *Manager) run(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p
 			st.rj.append(recRunResumed, encodeRunResumed(
 				rec.report.RecordedCompleted, rec.report.SkippedInvocations, rec.report.Reexecuted))
 		}
-		// The framing record must survive even an immediate crash: sync
-		// it through before the first task is dispatched.
+		// Cache hits are completions this process will never re-invoke:
+		// journal them with the framing so even a crash before the first
+		// dispatch leaves a journal that resumes without re-running them.
+		if st.memo != nil {
+			for _, id := range st.memo.hitIDs {
+				st.rj.taskMemoized(id, p.tasks[id])
+			}
+		}
+		// The framing records must survive even an immediate crash: sync
+		// them through before the first task is dispatched.
 		if err := j.Sync(); err != nil {
 			return nil, fmt.Errorf("wfm: journal: %w", err)
 		}
@@ -461,9 +494,26 @@ func (m *Manager) run(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p
 					"resume: options differ from the original run (journal records a different options hash)")
 			}
 		}
+		if st.memo != nil {
+			res.Memo = st.memo.report()
+			if res.Memo.CacheRepaired {
+				res.Warnings = append(res.Warnings, fmt.Sprintf(
+					"memo: cache file was corrupt; %d unusable byte(s) dropped, affected entries re-executed",
+					res.Memo.CacheDroppedBytes))
+			}
+			if merr := st.memo.cache.Err(); merr != nil {
+				res.Warnings = append(res.Warnings, fmt.Sprintf(
+					"memo: cache appends failing, this run's results are not being cached: %v", merr))
+			}
+		}
 		if jerr := st.rj.takeError(); jerr != nil {
 			res.Warnings = append(res.Warnings, fmt.Sprintf("journal: appends failing, run no longer durable: %v", jerr))
 		}
+	}
+	// Flush this run's manifests so the next process's probe sees them;
+	// append errors stay sticky in the cache and were surfaced above.
+	if st.memo != nil {
+		st.memo.cache.Sync()
 	}
 	if st.rj != nil {
 		status := runEndOK
@@ -503,12 +553,14 @@ func (m *Manager) validateRunnable(w *wfformat.Workflow) error {
 }
 
 // stageHeader stages the workflow's external inputs (unless disabled)
-// and records the synthetic header task.
-func (m *Manager) stageHeader(w *wfformat.Workflow, res *Result, start time.Time) error {
+// and records the synthetic header task. The manifest comes off the
+// invocation plan, resolved once at prepare time — not rescanned from
+// the workflow inside the execution wall.
+func (m *Manager) stageHeader(p *invocationPlan, res *Result, start time.Time) error {
 	header := &TaskResult{Name: HeaderName, Category: "header", Phase: 0}
 	if !m.opts.SkipStageInputs {
-		stage := make(map[string]int64)
-		for _, f := range w.ExternalInputs() {
+		stage := make(map[string]int64, len(p.ext))
+		for _, f := range p.ext {
 			stage[f.Name] = f.SizeInBytes
 		}
 		if err := sharedfs.Stage(m.opts.Drive, stage); err != nil {
@@ -575,6 +627,20 @@ func (m *Manager) traceReplay(root *obs.Span, st *runState) {
 	}
 }
 
+// traceMemo annotates the root span with the memo probe's outcome so a
+// memoized run's trace explains why most tasks have no spans.
+func (m *Manager) traceMemo(root *obs.Span, st *runState) {
+	if root == nil || st.memo == nil {
+		return
+	}
+	root.SetAttr("memoize", "on")
+	s := m.opts.Tracer.StartChildOf(root, "memo:probe")
+	s.SetInt("memo_hits", len(st.memo.hitIDs))
+	s.SetInt("memo_misses", st.memo.misses)
+	s.SetInt("skipped_output_bytes", int(st.memo.skipped))
+	s.Finish()
+}
+
 // runPhases is the paper's phase-barrier loop (Section III-C).
 func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan, st *runState) (*Result, error) {
 	levels := csr.LevelSlices()
@@ -598,6 +664,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 	root, finishTrace := m.startRunTrace(w.Name, res)
 	defer finishTrace()
 	m.traceReplay(root, st)
+	m.traceMemo(root, st)
 	mon := m.opts.Monitor
 	mon.runStarted(w.Name, SchedulePhases, p.len())
 	if l := m.opts.Logger; l != nil {
@@ -612,7 +679,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 	}()
 
 	// Header: stage external inputs so root functions find their data.
-	if err := m.stageHeader(w, res, start); err != nil {
+	if err := m.stageHeader(p, res, start); err != nil {
 		return res, err
 	}
 
@@ -626,15 +693,16 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		// Partition the level: tasks the journal proved completed (with
-		// outputs still on the drive) are recorded as recovered and never
-		// re-invoked; only the remainder dispatches.
+		// Partition the level: tasks the journal proved completed or the
+		// memo cache verified (outputs still on the drive either way) are
+		// recorded as recovered/memoized and never re-invoked; only the
+		// remainder dispatches.
 		toRun := level
-		if st.rec != nil {
+		if st.hasSeeds() {
 			toRun = make([]int32, 0, len(level))
 			for _, id := range level {
-				if st.recoveredID(id) {
-					record(recoveredResult(p, csr, st, id))
+				if st.seededID(id) {
+					record(seededResult(p, csr, st, id))
 				} else {
 					toRun = append(toRun, id)
 				}
@@ -679,6 +747,9 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 				tr.Ready = ready
 				ts := m.opts.Tracer.StartChildOf(root, task.Name)
 				ts.SetStart(start.Add(ready))
+				if st.memo != nil {
+					ts.SetAttr("memo_hit", "false")
+				}
 				mon.taskStarted()
 				st.rj.taskStarted(id)
 				tr.Start = time.Since(start)
