@@ -2,13 +2,13 @@ GO ?= go
 # BENCHTIME tunes the tracked bench suite; CI smoke runs use a short
 # value (e.g. BENCHTIME=1x) so the job bounds on build+vet, not timing.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr8.json
+BENCHOUT ?= BENCH_pr9.json
 # BASELINE is the checked-in reference the regression gate compares
 # fresh runs against; REGRESS_PCT is the tolerated drop before failing.
-BASELINE ?= BENCH_pr8.json
+BASELINE ?= BENCH_pr9.json
 REGRESS_PCT ?= 10
 
-.PHONY: all build test tier1 check race race-obs race-durable race-memo bench bench-all bench-sched bench-regression vet clean
+.PHONY: all build test tier1 check race race-obs race-durable race-memo race-health health-smoke bench bench-all bench-sched bench-regression vet clean
 
 all: tier1
 
@@ -52,6 +52,20 @@ race-durable:
 race-memo:
 	$(GO) test -race ./internal/memo/... ./internal/wfm/...
 
+# race-health is the focused race gate for the run-health plane: the
+# straggler watchdog scans in-flight attempts while workers start and
+# finish them, speculation races two attempts over one task slot, and
+# the monitor/tracker expositions read concurrently with the hooks.
+race-health:
+	$(GO) test -race ./internal/health/... ./internal/metrics/... ./internal/wfm/...
+
+# health-smoke runs the straggler campaign end to end: injected-tail
+# tasks must all be flagged, speculative retry must cut the makespan by
+# >= 25%, and the journal must stay duplicate-free with speculation on.
+# cmd/experiments exits non-zero if any of those gates fail.
+health-smoke:
+	$(GO) run ./cmd/experiments -suite health -health-tasks 16 -health-delay-ms 800
+
 # check is the pre-merge bar: tier1 plus vet and the race detector.
 check: tier1 vet race
 
@@ -64,7 +78,7 @@ check: tier1 vet race
 bench:
 	@tmp=$$(mktemp) || exit 1; \
 	( $(GO) test ./internal/dag -run xxx -bench 'SchedulerThroughput|CSRBuild' -benchmem -benchtime $(BENCHTIME) && \
-	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs|TracingOverhead|JournalOverhead' -benchmem -benchtime $(BENCHTIME) -short -timeout 1800s && \
+	  $(GO) test ./internal/wfm -run xxx -bench 'BenchmarkScheduling|Allocs|TracingOverhead|JournalOverhead|HealthOverhead' -benchmem -benchtime $(BENCHTIME) -short -timeout 1800s && \
 	  $(GO) test . -run xxx -bench 'InvocationThroughput|MemoizedRerun' -benchmem -benchtime $(BENCHTIME) -timeout 1800s \
 	) > $$tmp 2>&1; \
 	status=$$?; cat $$tmp; \

@@ -7,18 +7,23 @@
 //	analyze -csv results/campaign.csv
 //	analyze -csv results/campaign.csv -figure Figure7 -metric mean_cpu_cores
 //	analyze -trace results/run.trace.json
+//	analyze -diff baseline.spans.jsonl current.spans.jsonl
+//	analyze -diff -json old.spans.jsonl.gz new.spans.jsonl.gz
 package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"wfserverless/internal/analysis"
+	"wfserverless/internal/health"
 	"wfserverless/internal/metrics"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/wfm"
@@ -32,8 +37,20 @@ func main() {
 		ganttPath = flag.String("gantt", "", "render an execution trace (from wfm -trace) as a Gantt chart instead")
 		spanPath  = flag.String("trace", "", "summarize a span trace (Chrome trace JSON, span JSONL, or wfm trace JSON) instead")
 		jrnlPath  = flag.String("journal", "", "summarize a durable run journal (directory or segment file from wfm -journal) instead")
+		diffMode  = flag.Bool("diff", false, "compare two span logs: analyze -diff OLD NEW reports per-endpoint latency shifts and critical-path change")
+		jsonOut   = flag.Bool("json", false, "with -diff: emit one machine-readable JSON document instead of text")
 	)
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two span logs: analyze -diff OLD NEW"))
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *jrnlPath != "" {
 		runJournalSummary(*jrnlPath)
@@ -107,38 +124,86 @@ func main() {
 	}
 }
 
+// runDiff compares two recorded runs (pillar of the run-health plane):
+// it profiles each span log, then reports per-endpoint p50/p95/p99
+// shifts worst-first, retry/cold-start deltas, and how the critical
+// path's composition moved between the runs.
+func runDiff(w io.Writer, oldPath, newPath string, jsonMode bool) error {
+	oldRecs, _, err := readSpanRecords(oldPath)
+	if err != nil {
+		return err
+	}
+	newRecs, _, err := readSpanRecords(newPath)
+	if err != nil {
+		return err
+	}
+	d := health.DiffProfiles(health.ProfileRecords(oldRecs), health.ProfileRecords(newRecs))
+	if jsonMode {
+		return d.WriteJSON(w)
+	}
+	return d.WriteText(w)
+}
+
 // loadSpanRecords reads a span file in any of the three formats the
 // tooling writes, sniffing by structure: Chrome trace-event JSON (the
 // object form with a traceEvents array), wfm trace JSON (cmd/wfm
 // -trace, which embeds spans when tracing was on), or flat span JSONL.
-// The returned *wfm.Trace is non-nil only for the wfm format.
+// Gzip-compressed inputs (sniffed by magic bytes, as produced by
+// `gzip run.spans.jsonl` on a long campaign's logs) are decompressed
+// transparently. The returned *wfm.Trace is non-nil only for the wfm
+// format.
 func loadSpanRecords(path string) ([]obs.Record, string, *wfm.Trace) {
-	data, err := os.ReadFile(path)
+	recs, kind, tr, err := readSpanRecordsKind(path)
 	if err != nil {
 		fatal(err)
+	}
+	return recs, kind, tr
+}
+
+func readSpanRecords(path string) ([]obs.Record, string, error) {
+	recs, kind, _, err := readSpanRecordsKind(path)
+	return recs, kind, err
+}
+
+func readSpanRecordsKind(path string) ([]obs.Record, string, *wfm.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("%s: gzip: %w", path, err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, "", nil, fmt.Errorf("%s: gzip: %w", path, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, "", nil, fmt.Errorf("%s: gzip: %w", path, err)
+		}
 	}
 	var probe map[string]json.RawMessage
 	if json.Unmarshal(data, &probe) == nil {
 		if _, ok := probe["traceEvents"]; ok {
 			recs, err := obs.ParseChromeTrace(bytes.NewReader(data))
 			if err != nil {
-				fatal(err)
+				return nil, "", nil, err
 			}
-			return recs, "chrome trace", nil
+			return recs, "chrome trace", nil, nil
 		}
 		if _, ok := probe["workflow"]; ok {
 			tr, err := wfm.ParseTrace(bytes.NewReader(data))
 			if err != nil {
-				fatal(err)
+				return nil, "", nil, err
 			}
-			return tr.Spans, "wfm trace", tr
+			return tr.Spans, "wfm trace", tr, nil
 		}
 	}
 	recs, err := obs.ReadJSONL(bytes.NewReader(data))
 	if err != nil {
-		fatal(fmt.Errorf("%s: not chrome trace JSON, wfm trace JSON, or span JSONL: %w", path, err))
+		return nil, "", nil, fmt.Errorf("%s: not chrome trace JSON, wfm trace JSON, or span JSONL: %w", path, err)
 	}
-	return recs, "span log", nil
+	return recs, "span log", nil, nil
 }
 
 // runTraceSummary prints what a collected trace says about a run: span

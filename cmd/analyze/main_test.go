@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wfserverless/internal/health"
+	"wfserverless/internal/obs"
+)
+
+// fixtureRecords builds a small two-endpoint run: endpoint A fast,
+// endpoint B slow by the given factor, with one retry and one cold
+// start on B.
+func fixtureRecords(slowdown float64) []obs.Record {
+	mk := func(name, layer, id, parent string, start, dur float64, attrs map[string]any) obs.Record {
+		return obs.Record{Name: name, Layer: layer, TraceID: "t1", SpanID: id,
+			Parent: parent, StartMS: start, DurMS: dur, Attrs: attrs}
+	}
+	recs := []obs.Record{
+		mk("workflow:demo", obs.LayerWFM, "root", "", 0, 100*slowdown, nil),
+	}
+	for i, ep := range []string{"http://a/wfbench", "http://b/wfbench"} {
+		dur := 10.0
+		attrs := map[string]any{"endpoint": ep, "attempt": float64(1)}
+		if i == 1 {
+			dur = 40 * slowdown
+			attrs["cold_start"] = "true"
+		}
+		recs = append(recs,
+			mk("invoke", obs.LayerWFM, ep+"-1", "root", 5, dur, attrs),
+			mk("invoke", obs.LayerWFM, ep+"-2", "root", 20, dur, attrs),
+		)
+	}
+	// One retry attempt on endpoint B.
+	recs = append(recs, mk("invoke", obs.LayerWFM, "b-retry", "root", 60, 40*slowdown,
+		map[string]any{"endpoint": "http://b/wfbench", "attempt": float64(2)}))
+	return recs
+}
+
+func writeSpanLog(t *testing.T, path string, recs []obs.Record, compress bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if compress {
+		var gz bytes.Buffer
+		zw := gzip.NewWriter(&gz)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data = gz.Bytes()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanLogGzipRoundTrip pins transparent decompression: a gzipped
+// span log loads identically to its plain twin.
+func TestSpanLogGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := fixtureRecords(1)
+	plain := filepath.Join(dir, "run.spans.jsonl")
+	zipped := filepath.Join(dir, "run.spans.jsonl.gz")
+	writeSpanLog(t, plain, recs, false)
+	writeSpanLog(t, zipped, recs, true)
+
+	got, kind, err := readSpanRecords(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotZ, kindZ, err := readSpanRecords(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "span log" || kindZ != "span log" {
+		t.Fatalf("kinds = %q, %q", kind, kindZ)
+	}
+	if len(got) != len(recs) || len(gotZ) != len(recs) {
+		t.Fatalf("lengths: plain %d gz %d want %d", len(got), len(gotZ), len(recs))
+	}
+	for i := range got {
+		if got[i].SpanID != gotZ[i].SpanID || got[i].DurMS != gotZ[i].DurMS {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], gotZ[i])
+		}
+	}
+}
+
+// TestRunDiffPinpointsSlowEndpoint is the acceptance scenario for
+// cross-run diffing: the new run doubles endpoint B's latency, and the
+// diff must name B first with the p95 shift, in both text and JSON.
+func TestRunDiffPinpointsSlowEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.jsonl")
+	newPath := filepath.Join(dir, "new.jsonl.gz")
+	writeSpanLog(t, oldPath, fixtureRecords(1), false)
+	writeSpanLog(t, newPath, fixtureRecords(2), true) // 2x slowdown on B, gzipped
+
+	var text bytes.Buffer
+	if err := runDiff(&text, oldPath, newPath, false); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	// Worst shift first: endpoint B before endpoint A.
+	bi := strings.Index(out, "http://b/wfbench")
+	ai := strings.Index(out, "http://a/wfbench")
+	if bi < 0 || ai < 0 || bi > ai {
+		t.Fatalf("slow endpoint not ranked first:\n%s", out)
+	}
+	for _, want := range []string{
+		"p95 40.0 -> 80.0ms (+100.0%)",
+		"makespan: 100.0ms -> 200.0ms (+100.0%)",
+		"critical path:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text diff missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := runDiff(&js, oldPath, newPath, true); err != nil {
+		t.Fatal(err)
+	}
+	var d health.Diff
+	if err := json.Unmarshal(js.Bytes(), &d); err != nil {
+		t.Fatalf("JSON mode not machine readable: %v\n%s", err, js.String())
+	}
+	if len(d.Endpoints) != 2 || d.Endpoints[0].Endpoint != "http://b/wfbench" {
+		t.Fatalf("JSON endpoints: %+v", d.Endpoints)
+	}
+	if got := d.Endpoints[0].P95DeltaPct; got < 99 || got > 101 {
+		t.Fatalf("p95 delta = %g, want ~100", got)
+	}
+	if d.MakespanDeltaPct < 99 || d.MakespanDeltaPct > 101 {
+		t.Fatalf("makespan delta = %g", d.MakespanDeltaPct)
+	}
+	if d.CriticalDeltaMS <= 0 {
+		t.Fatalf("critical path delta = %g, want positive", d.CriticalDeltaMS)
+	}
+}
+
+// TestRunDiffChromeTraceInput: -diff accepts the Chrome trace-event
+// format on either side, not just JSONL.
+func TestRunDiffChromeTraceInput(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.trace.json")
+	newPath := filepath.Join(dir, "new.jsonl")
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, fixtureRecords(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, chrome.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSpanLog(t, newPath, fixtureRecords(1), false)
+
+	var out bytes.Buffer
+	if err := runDiff(&out, oldPath, newPath, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "http://b/wfbench") {
+		t.Fatalf("chrome-trace side not profiled:\n%s", out.String())
+	}
+}

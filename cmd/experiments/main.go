@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | scale | recovery | memo | all")
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | health | scale | recovery | memo | all")
 		small     = flag.Int("small", 30, "small workflow size")
 		large     = flag.Int("large", 120, "large workflow size")
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
@@ -50,6 +50,10 @@ func main() {
 		faultReject = flag.Float64("fault-reject-rate", 0.05, "resilience suite: probability of an injected 429")
 		faultLatMS  = flag.Float64("fault-latency-ms", 10, "resilience suite: injected latency spike, wall ms")
 		faultSeed   = flag.Int64("fault-seed", 13, "resilience suite: fault sequence seed")
+
+		// Shape of -suite health.
+		healthTasks   = flag.Int("health-tasks", 24, "health suite: workflow size for the straggler campaign")
+		healthDelayMS = flag.Float64("health-delay-ms", 1000, "health suite: injected straggler delay, wall ms")
 
 		// Shape of -suite recovery.
 		recoveryTasks  = flag.Int("recovery-tasks", 400, "recovery suite: synthetic workflow size per trial")
@@ -179,6 +183,8 @@ func main() {
 		runSuite("fig6", experiments.Figure6)
 	case "fig7":
 		runSuite("fig7", experiments.Figure7)
+	case "health":
+		runHealth(ctx, *healthTasks, *seed, time.Duration(*healthDelayMS*float64(time.Millisecond)))
 	case "recovery":
 		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale, batching, *memoize)
 	case "memo":
@@ -347,6 +353,39 @@ func runConcurrent(ctx context.Context, sz experiments.Sizes, seed int64, tn exp
 // runResilience executes the flaky-endpoint experiment: a workflow
 // against a fault-injecting WfBench service, with retries, backoff, and
 // the circuit breaker absorbing the chaos, in both scheduling modes.
+// runHealth executes the straggler campaign: each scheduling mode runs
+// the workflow with the run-health plane off (the injected tail waited
+// out) and on (stragglers flagged, speculative backups raced), and the
+// table reports the makespan cut plus detection completeness. A
+// non-zero "missing" column or a duplicate journal record is a hard
+// failure — the campaign doubles as the CI health-smoke gate.
+func runHealth(ctx context.Context, size int, seed int64, delay time.Duration) {
+	cfg := experiments.HealthConfig{NumTasks: size, Seed: seed, Latency: delay}
+	fmt.Printf("== Health: blast-%d straggler campaign (injected tail %v, speculation on vs off) ==\n", size, delay)
+	ms, err := experiments.HealthCampaign(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteHealthTable(os.Stdout, ms); err != nil {
+		fatal(err)
+	}
+	for i := range ms {
+		m := &ms[i]
+		if missing := m.Missing(); len(missing) > 0 {
+			fatal(fmt.Errorf("health %s: injected stragglers never flagged: %v", m.Scheduling, missing))
+		}
+		if m.TerminalRecords != m.Tasks || m.JournalCompleted != m.Tasks {
+			fatal(fmt.Errorf("health %s: journal has %d terminal records for %d tasks (duplicate completion?)",
+				m.Scheduling, m.TerminalRecords, m.Tasks))
+		}
+		if m.ImprovementPct < 25 {
+			fatal(fmt.Errorf("health %s: speculation cut makespan by only %.1f%% (%v -> %v), want >= 25%%",
+				m.Scheduling, m.ImprovementPct, m.BaselineWall, m.HealthWall))
+		}
+	}
+	fmt.Println()
+}
+
 func runResilience(ctx context.Context, size int, seed int64, timeScale, errorRate, rejectRate, latencyMS float64, faultSeed int64, traceSample float64, traceDir string, batching wfm.BatchOptions, memoize bool) {
 	cfg := experiments.ResilienceConfig{
 		Recipe:      "blast",

@@ -111,10 +111,7 @@ func main() {
 	// fault injector: an operator watching a chaos run still needs honest
 	// metrics and profiles. Only /wfbench and /invoke-batch ride through
 	// the faults.
-	mux := obs.TelemetryMux(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		svc.WriteMetrics(w)
-	})
+	mux := obs.TelemetryMux(svc.WriteMetrics)
 	mux.Handle("/wfbench", handler)
 	mux.Handle("/invoke-batch", handler)
 	log.Printf("wfbench-serve: listening on %s, %d workers, workdir %s, keep-mem=%v burn=%v (telemetry: /metrics /healthz /debug/pprof)",

@@ -44,10 +44,12 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"wfserverless/internal/experiments"
+	"wfserverless/internal/health"
 	"wfserverless/internal/journal"
 	"wfserverless/internal/memo"
 	"wfserverless/internal/obs"
@@ -92,6 +94,11 @@ func main() {
 		journalGroupMS = flag.Float64("journal-group-ms", 2, "group-commit batching window, wall milliseconds")
 		crashAfter     = flag.Int("crash-after-tasks", 0, "crash injection: sync the journal and kill the process after N completed tasks (requires -journal)")
 
+		healthOn   = flag.Bool("health", false, "enable the run-health plane: per-endpoint latency baselines and live straggler detection (direct mode)")
+		speculate  = flag.Bool("speculate", false, "re-dispatch a flagged straggler once and take the first completion (implies -health)")
+		stragglerK = flag.Float64("straggler-factor", 0, "flag tasks older than this multiple of their endpoint's running median (0: 3)")
+		recorder   = flag.String("flight-recorder", "", "dump the run's last moments as JSONL to this file on panic, interrupt, or failure (implies -health)")
+
 		sample      = flag.Float64("sample", 0, "trace sampling ratio in (0,1]: fraction of workflow roots recorded (0: off unless a trace output is set)")
 		chromeTrace = flag.String("chrome-trace", "", "write spans as Chrome trace-event JSON (load at ui.perfetto.dev or chrome://tracing)")
 		spanLog     = flag.String("span-log", "", "write spans as flat JSONL, one span per line")
@@ -132,10 +139,22 @@ func main() {
 		}
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
+	// The straggler tracker is born with the run, after telemetry is
+	// already listening; Options.Health.OnTracker publishes it here so
+	// the /metrics page grows the per-endpoint families mid-run.
+	var stragglerTracker atomic.Pointer[health.Tracker]
 	var monitor *wfm.Monitor
 	if *telemetry != "" {
 		monitor = wfm.NewMonitor()
-		startTelemetry(*telemetry, monitor)
+		startTelemetry(*telemetry, func(w io.Writer) error {
+			if err := monitor.WriteMetrics(w); err != nil {
+				return err
+			}
+			if tr := stragglerTracker.Load(); tr != nil {
+				return tr.WriteMetrics(w)
+			}
+			return nil
+		})
 	}
 
 	if *paradigm != "" {
@@ -201,6 +220,47 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wfm: memo cache was corrupt; dropped %d unusable byte(s), affected tasks will re-execute\n", dropped)
 		}
 	}
+	// Run-health plane: -speculate and -flight-recorder imply -health.
+	var flightRec *health.FlightRecorder
+	var healthOpts *wfm.HealthOptions
+	if *healthOn || *speculate || *recorder != "" {
+		if *recorder != "" {
+			flightRec = health.NewFlightRecorder(0)
+		}
+		healthOpts = &wfm.HealthOptions{
+			StragglerFactor:  *stragglerK,
+			SpeculativeRetry: *speculate,
+			Recorder:         flightRec,
+			OnTracker:        func(tr *health.Tracker) { stragglerTracker.Store(tr) },
+		}
+	}
+	// dumpRecorder writes the crash flight recorder next to whatever
+	// went wrong: the last ring of structured events, as JSONL.
+	dumpRecorder := func(reason string) {
+		if flightRec == nil {
+			return
+		}
+		f, err := os.Create(*recorder)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfm: flight recorder:", err)
+			return
+		}
+		if err := flightRec.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wfm: flight recorder:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wfm: flight recorder:", err)
+		}
+		fmt.Fprintf(os.Stderr, "wfm: flight recorder (%s): %d event(s), %d dropped -> %s\n",
+			reason, len(flightRec.Events()), flightRec.Dropped(), *recorder)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			dumpRecorder("panic")
+			panic(p)
+		}
+	}()
+
 	mgr, err := wfm.New(wfm.Options{
 		Drive:           drive,
 		TimeScale:       *timeScale,
@@ -228,6 +288,7 @@ func main() {
 		Logger:        logger,
 		Journal:       jnl,
 		Memoize:       cache,
+		Health:        healthOpts,
 		AfterTaskDone: afterDone,
 	})
 	if err != nil {
@@ -252,6 +313,14 @@ func main() {
 		if cerr := cache.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "wfm: closing memo cache:", cerr)
 		}
+	}
+	switch {
+	case ctx.Err() != nil:
+		dumpRecorder("interrupt")
+	case runErr != nil:
+		dumpRecorder("run failure")
+	case res != nil && len(res.Failed) > 0:
+		dumpRecorder("task failures")
 	}
 	if res != nil {
 		if *tracePath != "" {
@@ -283,11 +352,8 @@ func main() {
 // startTelemetry serves the live telemetry plane in the background:
 // manager progress on /metrics, liveness on /healthz, and profiling
 // under /debug/pprof.
-func startTelemetry(addr string, mon *wfm.Monitor) {
-	mux := obs.TelemetryMux(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		mon.WriteMetrics(w)
-	})
+func startTelemetry(addr string, metrics func(io.Writer) error) {
+	mux := obs.TelemetryMux(metrics)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -371,6 +437,18 @@ func printResult(res *wfm.Result, verbose bool) {
 	if mr := res.Memo; mr != nil {
 		fmt.Printf("memoize:   %d hit(s), %d miss(es), %s of outputs served from cache (%d entries)\n",
 			mr.Hits, mr.Misses, byteCount(mr.SkippedOutputBytes), mr.CacheEntries)
+	}
+	if h := res.Health; h != nil {
+		fmt.Printf("health:    %d straggler(s) flagged, %d speculative backup(s), %d won\n",
+			len(h.Stragglers), h.SpeculativeRetries, h.SpeculativeWins)
+		for _, e := range h.Endpoints {
+			fmt.Printf("  endpoint %-40s n=%-5d p50=%.3fs p95=%.3fs p99=%.3fs fail=%d cold=%d\n",
+				e.Endpoint, e.Attempts, e.P50, e.P95, e.P99, e.Failures, e.ColdStarts)
+		}
+		for _, s := range h.Stragglers {
+			fmt.Printf("  straggler %s at %v (endpoint median %v)\n",
+				s.Task, s.Age.Round(time.Millisecond), s.Median.Round(time.Millisecond))
+		}
 	}
 	var queue time.Duration
 	n := 0

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthCampaign is the acceptance run for the straggler campaign:
+// every injected-slow task must be flagged, speculative retry must cut
+// the makespan by at least 25% against the detection-off baseline, and
+// the journal must hold exactly one terminal record per task despite
+// the raced duplicate attempts — in both scheduling modes.
+func TestHealthCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock latency injection campaign")
+	}
+	ms, err := HealthCampaign(context.Background(), HealthConfig{
+		NumTasks: 16,
+		Latency:  800 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d, want both scheduling modes", len(ms))
+	}
+	for i := range ms {
+		m := &ms[i]
+		t.Run(m.Scheduling, func(t *testing.T) {
+			if len(m.Injected) == 0 {
+				t.Fatal("injector delayed nothing — campaign exercised no stragglers")
+			}
+			if missing := m.Missing(); len(missing) > 0 {
+				t.Fatalf("injected but never flagged: %v (injected %v, flagged %v)",
+					missing, m.Injected, m.Flagged)
+			}
+			if m.SpeculativeRetries == 0 || m.SpeculativeWins == 0 {
+				t.Fatalf("no speculation recorded: %+v", m)
+			}
+			if m.ImprovementPct < 25 {
+				t.Fatalf("speculation improved makespan by %.1f%% (%v -> %v), want >= 25%%",
+					m.ImprovementPct, m.BaselineWall, m.HealthWall)
+			}
+			total := m.Tasks
+			if m.JournalCompleted != total {
+				t.Fatalf("journal completed = %d, want %d", m.JournalCompleted, total)
+			}
+			if m.TerminalRecords != total {
+				t.Fatalf("terminal journal records = %d, want %d (duplicate completion?)",
+					m.TerminalRecords, total)
+			}
+			if len(m.Endpoints) == 0 || m.Endpoints[0].Attempts == 0 {
+				t.Fatalf("no endpoint baselines: %+v", m.Endpoints)
+			}
+		})
+	}
+	var sb strings.Builder
+	if err := WriteHealthTable(&sb, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "improve") || !strings.Contains(sb.String(), ms[0].Workflow) {
+		t.Fatalf("table rendering:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,259 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
+)
+
+// EndpointProfile is one endpoint's latency/retry/cold-start profile
+// extracted from a recorded span log.
+type EndpointProfile struct {
+	Endpoint string  `json:"endpoint"`
+	Count    int     `json:"count"`
+	P50MS    float64 `json:"p50Ms"`
+	P95MS    float64 `json:"p95Ms"`
+	P99MS    float64 `json:"p99Ms"`
+	// Retries counts invoke spans beyond each task's first attempt;
+	// ColdStarts the invoke spans marked cold.
+	Retries    int `json:"retries"`
+	ColdStarts int `json:"coldStarts"`
+}
+
+// Profile is the per-run view cross-run diffing operates on, built from
+// a span log (JSONL or Chrome trace) by ProfileRecords.
+type Profile struct {
+	Spans      int               `json:"spans"`
+	Invokes    int               `json:"invokes"`
+	MakespanMS float64           `json:"makespanMs"`
+	Endpoints  []EndpointProfile `json:"endpoints"`
+	// CriticalMS is the critical path's total duration; CriticalByLayer
+	// its composition (summed span durations per layer along the path).
+	CriticalSpans   int                `json:"criticalSpans"`
+	CriticalMS      float64            `json:"criticalMs"`
+	CriticalByLayer map[string]float64 `json:"criticalByLayer"`
+}
+
+// ProfileRecords extracts a Profile from one run's span records.
+// Endpoint attribution uses the "endpoint" attr the manager stamps on
+// invoke spans; invoke spans without one group under "unknown".
+func ProfileRecords(recs []obs.Record) *Profile {
+	p := &Profile{Spans: len(recs), CriticalByLayer: map[string]float64{}}
+	perEP := map[string]*epAccum{}
+	for i := range recs {
+		r := &recs[i]
+		end := r.StartMS + r.DurMS
+		if end > p.MakespanMS {
+			p.MakespanMS = end
+		}
+		if r.Layer != obs.LayerWFM || r.Name != "invoke" {
+			continue
+		}
+		p.Invokes++
+		ep := "unknown"
+		if v, ok := r.Attrs["endpoint"].(string); ok && v != "" {
+			ep = v
+		}
+		a := perEP[ep]
+		if a == nil {
+			a = &epAccum{}
+			perEP[ep] = a
+		}
+		a.lat.Values = append(a.lat.Values, r.DurMS)
+		if att, ok := r.Attrs["attempt"].(float64); ok && att > 1 {
+			a.retries++
+		}
+		if cold, ok := r.Attrs["cold_start"].(string); ok && cold == "true" {
+			a.cold++
+		}
+	}
+	for ep, a := range perEP {
+		p.Endpoints = append(p.Endpoints, EndpointProfile{
+			Endpoint:   ep,
+			Count:      a.lat.Len(),
+			P50MS:      a.lat.Percentile(50),
+			P95MS:      a.lat.Percentile(95),
+			P99MS:      a.lat.Percentile(99),
+			Retries:    a.retries,
+			ColdStarts: a.cold,
+		})
+	}
+	sort.Slice(p.Endpoints, func(i, j int) bool { return p.Endpoints[i].Endpoint < p.Endpoints[j].Endpoint })
+	for _, r := range obs.CriticalPath(recs) {
+		p.CriticalSpans++
+		p.CriticalMS += r.DurMS
+		p.CriticalByLayer[r.Layer] += r.DurMS
+	}
+	return p
+}
+
+type epAccum struct {
+	lat     metrics.Series
+	retries int
+	cold    int
+}
+
+// EndpointDelta is one endpoint's before/after comparison.
+type EndpointDelta struct {
+	Endpoint string          `json:"endpoint"`
+	Old      EndpointProfile `json:"old"`
+	New      EndpointProfile `json:"new"`
+	// P95DeltaPct is the p95 shift in percent ((new-old)/old·100).
+	// NewEndpoint marks an endpoint with no old-run samples — its delta
+	// is reported 0 (JSON cannot carry +Inf) and text mode says "new".
+	P95DeltaPct float64 `json:"p95DeltaPct"`
+	NewEndpoint bool    `json:"newEndpoint,omitempty"`
+}
+
+// LayerDelta compares critical-path composition for one layer.
+type LayerDelta struct {
+	Layer   string  `json:"layer"`
+	OldMS   float64 `json:"oldMs"`
+	NewMS   float64 `json:"newMs"`
+	DeltaMS float64 `json:"deltaMs"`
+}
+
+// Diff is the cross-run comparison: per-endpoint quantile deltas sorted
+// worst-p95-shift first, retry/cold-start deltas, and critical-path
+// composition change. Built by DiffProfiles, rendered by WriteText or
+// WriteJSON (the machine-readable CI-gating mode).
+type Diff struct {
+	Old *Profile `json:"old"`
+	New *Profile `json:"new"`
+
+	MakespanDeltaPct float64         `json:"makespanDeltaPct"`
+	Endpoints        []EndpointDelta `json:"endpoints"`
+	RetryDelta       int             `json:"retryDelta"`
+	ColdStartDelta   int             `json:"coldStartDelta"`
+	CriticalDeltaMS  float64         `json:"criticalDeltaMs"`
+	CriticalByLayer  []LayerDelta    `json:"criticalByLayer"`
+}
+
+// DiffProfiles compares two run profiles.
+func DiffProfiles(oldP, newP *Profile) *Diff {
+	d := &Diff{Old: oldP, New: newP}
+	if pct := pctDelta(oldP.MakespanMS, newP.MakespanMS); !math.IsInf(pct, 0) {
+		d.MakespanDeltaPct = pct
+	}
+	byEP := map[string]*EndpointDelta{}
+	for _, e := range oldP.Endpoints {
+		byEP[e.Endpoint] = &EndpointDelta{Endpoint: e.Endpoint, Old: e}
+		d.RetryDelta -= e.Retries
+		d.ColdStartDelta -= e.ColdStarts
+	}
+	for _, e := range newP.Endpoints {
+		ed := byEP[e.Endpoint]
+		if ed == nil {
+			ed = &EndpointDelta{Endpoint: e.Endpoint}
+			byEP[e.Endpoint] = ed
+		}
+		ed.New = e
+		d.RetryDelta += e.Retries
+		d.ColdStartDelta += e.ColdStarts
+	}
+	for _, ed := range byEP {
+		if ed.Old.Count == 0 && ed.New.Count > 0 {
+			ed.NewEndpoint = true
+		} else if pct := pctDelta(ed.Old.P95MS, ed.New.P95MS); !math.IsInf(pct, 0) {
+			ed.P95DeltaPct = pct
+		}
+		d.Endpoints = append(d.Endpoints, *ed)
+	}
+	sortKey := func(e *EndpointDelta) float64 {
+		if e.NewEndpoint {
+			return math.MaxFloat64
+		}
+		return math.Abs(e.P95DeltaPct)
+	}
+	sort.Slice(d.Endpoints, func(i, j int) bool {
+		ai, aj := sortKey(&d.Endpoints[i]), sortKey(&d.Endpoints[j])
+		if ai != aj {
+			return ai > aj
+		}
+		return d.Endpoints[i].Endpoint < d.Endpoints[j].Endpoint
+	})
+	d.CriticalDeltaMS = newP.CriticalMS - oldP.CriticalMS
+	layers := map[string]bool{}
+	for l := range oldP.CriticalByLayer {
+		layers[l] = true
+	}
+	for l := range newP.CriticalByLayer {
+		layers[l] = true
+	}
+	names := make([]string, 0, len(layers))
+	for l := range layers {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	for _, l := range names {
+		o, n := oldP.CriticalByLayer[l], newP.CriticalByLayer[l]
+		d.CriticalByLayer = append(d.CriticalByLayer, LayerDelta{Layer: l, OldMS: o, NewMS: n, DeltaMS: n - o})
+	}
+	return d
+}
+
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func fmtPct(v float64) string {
+	if math.IsInf(v, 1) {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
+// WriteText renders the diff for humans, worst endpoint first.
+func (d *Diff) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("run diff: %d -> %d spans, %d -> %d invokes\n",
+		d.Old.Spans, d.New.Spans, d.Old.Invokes, d.New.Invokes)
+	p("makespan: %.1fms -> %.1fms (%s)\n", d.Old.MakespanMS, d.New.MakespanMS, fmtPct(d.MakespanDeltaPct))
+	p("endpoints (worst p95 shift first):\n")
+	for _, e := range d.Endpoints {
+		p("  %s\n", e.Endpoint)
+		p95 := fmtPct(e.P95DeltaPct)
+		if e.NewEndpoint {
+			p95 = "new"
+		}
+		p("    p50 %.1f -> %.1fms (%s)  p95 %.1f -> %.1fms (%s)  p99 %.1f -> %.1fms (%s)  n %d -> %d\n",
+			e.Old.P50MS, e.New.P50MS, fmtPct(pctDelta(e.Old.P50MS, e.New.P50MS)),
+			e.Old.P95MS, e.New.P95MS, p95,
+			e.Old.P99MS, e.New.P99MS, fmtPct(pctDelta(e.Old.P99MS, e.New.P99MS)),
+			e.Old.Count, e.New.Count)
+		if e.Old.Retries != 0 || e.New.Retries != 0 || e.Old.ColdStarts != 0 || e.New.ColdStarts != 0 {
+			p("    retries %d -> %d  cold starts %d -> %d\n",
+				e.Old.Retries, e.New.Retries, e.Old.ColdStarts, e.New.ColdStarts)
+		}
+	}
+	p("retries: %+d  cold starts: %+d\n", d.RetryDelta, d.ColdStartDelta)
+	p("critical path: %.1fms (%d spans) -> %.1fms (%d spans), %+.1fms\n",
+		d.Old.CriticalMS, d.Old.CriticalSpans, d.New.CriticalMS, d.New.CriticalSpans, d.CriticalDeltaMS)
+	for _, l := range d.CriticalByLayer {
+		p("  %-9s %.1f -> %.1fms (%+.1fms)\n", l.Layer, l.OldMS, l.NewMS, l.DeltaMS)
+	}
+	return err
+}
+
+// WriteJSON renders the diff as one JSON document for CI gating.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,157 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"wfserverless/internal/obs"
+)
+
+// syntheticRun builds a deterministic span set: a root, ten tasks split
+// across two endpoints, one invoke span each. scaleA multiplies
+// endpoint A's invoke durations (the injected slowdown); retriesA adds
+// that many second-attempt invoke spans on A.
+func syntheticRun(scaleA float64, retriesA int) []obs.Record {
+	var recs []obs.Record
+	end := 0.0
+	add := func(r obs.Record) {
+		recs = append(recs, r)
+		if e := r.StartMS + r.DurMS; e > end {
+			end = e
+		}
+	}
+	for i := 0; i < 10; i++ {
+		ep := "http://a/wfbench"
+		dur := (10 + float64(i)) * scaleA
+		if i%2 == 1 {
+			ep = "http://b/wfbench"
+			dur = 20 + float64(i)
+		}
+		task := obs.Record{
+			Name: fmt.Sprintf("task%02d", i), Layer: obs.LayerWFM,
+			SpanID: fmt.Sprintf("t%02d", i), Parent: "root",
+			StartMS: float64(i * 5), DurMS: dur + 2,
+		}
+		add(task)
+		add(obs.Record{
+			Name: "invoke", Layer: obs.LayerWFM,
+			SpanID: fmt.Sprintf("i%02d", i), Parent: task.SpanID,
+			StartMS: task.StartMS + 1, DurMS: dur,
+			Attrs: map[string]any{"endpoint": ep, "attempt": float64(1), "cold_start": coldFor(i)},
+		})
+	}
+	for r := 0; r < retriesA; r++ {
+		add(obs.Record{
+			Name: "invoke", Layer: obs.LayerWFM,
+			SpanID: fmt.Sprintf("r%02d", r), Parent: "t00",
+			StartMS: 2, DurMS: 5 * scaleA,
+			Attrs: map[string]any{"endpoint": "http://a/wfbench", "attempt": float64(2)},
+		})
+	}
+	root := obs.Record{
+		Name: "workflow:diffdemo", Layer: obs.LayerWFM,
+		SpanID: "root", StartMS: 0, DurMS: end + 1,
+	}
+	return append([]obs.Record{root}, recs...)
+}
+
+func coldFor(i int) string {
+	if i == 0 {
+		return "true"
+	}
+	return "false"
+}
+
+func TestProfileRecords(t *testing.T) {
+	p := ProfileRecords(syntheticRun(1, 0))
+	if p.Invokes != 10 {
+		t.Fatalf("invokes = %d, want 10", p.Invokes)
+	}
+	if len(p.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(p.Endpoints))
+	}
+	a := p.Endpoints[0]
+	if a.Endpoint != "http://a/wfbench" || a.Count != 5 || a.ColdStarts != 1 || a.Retries != 0 {
+		t.Fatalf("endpoint a profile: %+v", a)
+	}
+	if a.P50MS != 14 || a.P95MS != 18 {
+		t.Fatalf("endpoint a quantiles: p50=%v p95=%v, want 14/18", a.P50MS, a.P95MS)
+	}
+	if p.CriticalSpans == 0 || p.CriticalMS <= 0 {
+		t.Fatalf("critical path empty: %+v", p)
+	}
+	if p.MakespanMS <= 0 {
+		t.Fatal("makespan not derived")
+	}
+}
+
+// TestDiffGolden pins the acceptance scenario: a 2× injected slowdown
+// on one endpoint must surface as that endpoint's p95 shift (worst
+// first) and as a critical-path delta, in both text and JSON.
+func TestDiffGolden(t *testing.T) {
+	oldP := ProfileRecords(syntheticRun(1, 0))
+	newP := ProfileRecords(syntheticRun(2, 3))
+	d := DiffProfiles(oldP, newP)
+
+	var sb strings.Builder
+	if err := d.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `run diff: 21 -> 24 spans, 10 -> 13 invokes
+makespan: 77.0ms -> 79.0ms (+2.6%)
+endpoints (worst p95 shift first):
+  http://a/wfbench
+    p50 14.0 -> 20.0ms (+42.9%)  p95 18.0 -> 36.0ms (+100.0%)  p99 18.0 -> 36.0ms (+100.0%)  n 5 -> 8
+    retries 0 -> 3  cold starts 1 -> 1
+  http://b/wfbench
+    p50 25.0 -> 25.0ms (+0.0%)  p95 29.0 -> 29.0ms (+0.0%)  p99 29.0 -> 29.0ms (+0.0%)  n 5 -> 5
+retries: +3  cold starts: +0
+critical path: 137.0ms (3 spans) -> 153.0ms (3 spans), +16.0ms
+  wfm       137.0 -> 153.0ms (+16.0ms)
+`
+	if sb.String() != golden {
+		t.Fatalf("text diff mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
+	}
+
+	// JSON mode: machine-readable, worst endpoint first, pinpointing
+	// the slowed endpoint's p95 shift.
+	sb.Reset()
+	if err := d.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Diff
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("JSON mode not parseable: %v", err)
+	}
+	if len(decoded.Endpoints) != 2 || decoded.Endpoints[0].Endpoint != "http://a/wfbench" {
+		t.Fatalf("JSON endpoints: %+v", decoded.Endpoints)
+	}
+	if math.Abs(decoded.Endpoints[0].P95DeltaPct-100) > 0.01 {
+		t.Fatalf("p95 delta = %v, want 100", decoded.Endpoints[0].P95DeltaPct)
+	}
+	if decoded.CriticalDeltaMS <= 0 {
+		t.Fatalf("critical delta = %v, want > 0", decoded.CriticalDeltaMS)
+	}
+	if decoded.RetryDelta != 3 {
+		t.Fatalf("retry delta = %d, want 3", decoded.RetryDelta)
+	}
+}
+
+func TestDiffNewEndpoint(t *testing.T) {
+	oldP := ProfileRecords(nil)
+	newP := ProfileRecords(syntheticRun(1, 0))
+	d := DiffProfiles(oldP, newP)
+	if len(d.Endpoints) != 2 || !d.Endpoints[0].NewEndpoint {
+		t.Fatalf("new endpoints not marked: %+v", d.Endpoints)
+	}
+	var sb strings.Builder
+	if err := d.WriteJSON(&sb); err != nil {
+		t.Fatalf("JSON with new endpoints must not carry Inf: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"newEndpoint": true`) {
+		t.Fatal("JSON missing newEndpoint marker")
+	}
+}

@@ -1,0 +1,103 @@
+package health
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured entry in the flight recorder's ring.
+type Event struct {
+	// AtMS is the event's offset from recorder creation, milliseconds.
+	AtMS float64 `json:"atMs"`
+	// Kind names the event: run-start, run-end, task-start, task-done,
+	// task-fail, retry, throttle, breaker, straggler, speculate,
+	// speculate-win.
+	Kind     string `json:"kind"`
+	Task     string `json:"task,omitempty"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring of recent structured events — the
+// "why" to dump next to the journal's "what" when a run panics, is
+// wound down by a signal, or fails. Record is a struct copy under one
+// short mutex hold so it is cheap enough to sit on the dispatch path
+// when the health plane is on. All methods are safe on a nil receiver.
+type FlightRecorder struct {
+	start time.Time
+
+	mu    sync.Mutex
+	ring  []Event
+	total uint64 // events ever recorded
+}
+
+// NewFlightRecorder returns a recorder holding the last size events;
+// size <= 0 defaults to 4096.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 4096
+	}
+	return &FlightRecorder{start: time.Now(), ring: make([]Event, size)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full.
+func (fr *FlightRecorder) Record(kind, task, endpoint string, attempt int, detail string) {
+	if fr == nil {
+		return
+	}
+	at := float64(time.Since(fr.start).Microseconds()) / 1000
+	fr.mu.Lock()
+	fr.ring[fr.total%uint64(len(fr.ring))] = Event{
+		AtMS: at, Kind: kind, Task: task, Endpoint: endpoint, Attempt: attempt, Detail: detail,
+	}
+	fr.total++
+	fr.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (fr *FlightRecorder) Events() []Event {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := fr.total
+	size := uint64(len(fr.ring))
+	if n > size {
+		out := make([]Event, 0, size)
+		for i := uint64(0); i < size; i++ {
+			out = append(out, fr.ring[(n+i)%size])
+		}
+		return out
+	}
+	return append([]Event(nil), fr.ring[:n]...)
+}
+
+// Dropped reports how many events fell off the ring.
+func (fr *FlightRecorder) Dropped() uint64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if size := uint64(len(fr.ring)); fr.total > size {
+		return fr.total - size
+	}
+	return 0
+}
+
+// WriteJSONL dumps the retained events as one JSON object per line,
+// oldest first.
+func (fr *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range fr.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

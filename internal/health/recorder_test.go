@@ -1,0 +1,96 @@
+package health
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record("task-done", "t", "ep", i, "")
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Attempt != 6+i {
+			t.Fatalf("event %d attempt = %d, want %d (oldest-first order)", i, ev.Attempt, 6+i)
+		}
+	}
+	if fr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", fr.Dropped())
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	fr := NewFlightRecorder(100)
+	fr.Record("run-start", "", "", 0, "wf")
+	fr.Record("straggler", "slow", "ep", 1, "age 80ms median 10ms")
+	evs := fr.Events()
+	if len(evs) != 2 || evs[0].Kind != "run-start" || evs[1].Kind != "straggler" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if fr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", fr.Dropped())
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record("retry", "t1", "http://e", 2, "HTTP 503")
+	fr.Record("breaker", "", "http://e", 0, "closed->open")
+	var sb strings.Builder
+	if err := fr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var kinds []string
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != "retry" || kinds[1] != "breaker" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record("x", "", "", 0, "") // must not panic
+	if fr.Events() != nil || fr.Dropped() != 0 {
+		t.Fatal("nil recorder should report nothing")
+	}
+	var sb strings.Builder
+	if err := fr.WriteJSONL(&sb); err != nil || sb.Len() != 0 {
+		t.Fatal("nil recorder WriteJSONL should write nothing")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record("task-done", "t", "ep", i, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(fr.Events()); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+	if got := fr.Dropped(); got != 8*500-64 {
+		t.Fatalf("Dropped = %d, want %d", got, 8*500-64)
+	}
+}

@@ -1,26 +1,79 @@
 package obs
 
 import (
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
+
+// Metrics exposition content types. The exposition body this repo's
+// writers emit (HELP/TYPE metadata followed by samples) is valid under
+// both; OpenMetrics additionally mandates the `# EOF` terminator, which
+// ServeMetrics appends.
+const (
+	// ContentTypeProm is the classic Prometheus text exposition format.
+	ContentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+	// ContentTypeOpenMetrics is the OpenMetrics 1.0 text format.
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// NegotiateMetrics picks the exposition content type from a request's
+// Accept header: a client that asks for application/openmetrics-text
+// gets OpenMetrics, everyone else (including no Accept at all) gets the
+// classic Prometheus text format.
+func NegotiateMetrics(accept string) (contentType string, openMetrics bool) {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return ContentTypeOpenMetrics, true
+		}
+	}
+	return ContentTypeProm, false
+}
+
+// ServeMetrics writes one metrics exposition with content-type
+// negotiation: the Content-Type answers the client's Accept header and
+// OpenMetrics responses are closed with the format's mandatory `# EOF`
+// terminator. write receives the response body; every exposition
+// endpoint in the repo funnels through here so the conformance rules
+// live in one place.
+func ServeMetrics(w http.ResponseWriter, r *http.Request, write func(io.Writer) error) {
+	ct, om := NegotiateMetrics(r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", ct)
+	if write != nil {
+		if err := write(w); err != nil {
+			// The status line is long gone; nothing useful to send.
+			return
+		}
+	}
+	if om {
+		io.WriteString(w, "# EOF\n")
+	}
+}
 
 // TelemetryMux returns an http.ServeMux wired with the standard
 // telemetry surface shared by every long-running binary in this repo:
 //
 //	/healthz            liveness probe, answers 200 "ok"
-//	/metrics            the provided handler (Prometheus text exposition)
+//	/metrics            the provided exposition writer, with Prometheus
+//	                    text / OpenMetrics negotiation (ServeMetrics)
 //	/debug/pprof/...    the net/http/pprof profiling suite
 //
-// A nil metrics handler serves only health and pprof.
-func TelemetryMux(metrics http.HandlerFunc) *http.ServeMux {
+// A nil metrics writer serves only health and pprof.
+func TelemetryMux(metrics func(io.Writer) error) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
 	if metrics != nil {
-		mux.HandleFunc("/metrics", metrics)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			ServeMetrics(w, r, metrics)
+		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -12,8 +12,9 @@ import (
 // TestTelemetryMux pins the shared endpoint map: health, metrics, and
 // the pprof index must all answer on one mux.
 func TestTelemetryMux(t *testing.T) {
-	mux := TelemetryMux(func(w http.ResponseWriter, r *http.Request) {
+	mux := TelemetryMux(func(w io.Writer) error {
 		fmt.Fprintln(w, "# TYPE test_metric gauge\ntest_metric 1")
+		return nil
 	})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()

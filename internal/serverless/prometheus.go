@@ -41,13 +41,22 @@ func (p *Platform) WriteMetrics(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		ss := st.Services[n]
-		if _, err := fmt.Fprintf(w, "wfserverless_service_pods{service=%q} %d\n", n, ss.Pods); err != nil {
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP wfserverless_service_pods live pods per service\n# TYPE wfserverless_service_pods gauge\n"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "wfserverless_service_inflight{service=%q} %d\n", n, ss.Inflight); err != nil {
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "wfserverless_service_pods{service=%q} %d\n", n, st.Services[n].Pods); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP wfserverless_service_inflight in-flight invocations per service\n# TYPE wfserverless_service_inflight gauge\n"); err != nil {
 			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "wfserverless_service_inflight{service=%q} %d\n", n, st.Services[n].Inflight); err != nil {
+				return err
+			}
 		}
 	}
 	return p.latency.WriteProm(w, "wfserverless_invocation_seconds",

@@ -630,8 +630,7 @@ func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Path == "/metrics" && r.Method == http.MethodGet {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		p.WriteMetrics(w)
+		obs.ServeMetrics(w, r, p.WriteMetrics)
 		return
 	}
 	if service, ok := splitBatchPath(r.URL.Path); ok && r.Method == http.MethodPost {

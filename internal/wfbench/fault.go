@@ -2,6 +2,7 @@ package wfbench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,17 @@ type FaultProfile struct {
 	// random extra on top.
 	Latency       time.Duration
 	LatencyJitter time.Duration
+	// LatencyAfter suppresses latency injection for the first N requests
+	// (single POSTs and batch frames both count). A straggler campaign
+	// uses it to let fast siblings establish the endpoint's latency
+	// baseline before the tail appears.
+	LatencyAfter int
+	// LatencyOnce delays each distinct task name at most once, so a
+	// retry or speculative backup of a delayed task lands on the fast
+	// path — the bad-placement straggler model rather than a slow task.
+	// Requests whose body carries no task name are never delayed under
+	// LatencyOnce.
+	LatencyOnce bool
 	// HangRate is the probability of never answering: the injector
 	// holds the request until the client gives up (request context
 	// cancelled) or MaxHang elapses, whichever is first. This is the
@@ -71,6 +83,9 @@ func (p FaultProfile) validate() error {
 	if p.Latency < 0 || p.LatencyJitter < 0 || p.MaxHang < 0 {
 		return fmt.Errorf("wfbench: fault durations must be >= 0")
 	}
+	if p.LatencyAfter < 0 {
+		return fmt.Errorf("wfbench: fault LatencyAfter = %d, want >= 0", p.LatencyAfter)
+	}
 	return nil
 }
 
@@ -95,6 +110,11 @@ type Injector struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+	seq int // requests drawn so far, for LatencyAfter
+
+	delayedMu    sync.Mutex
+	delayedSet   map[string]bool
+	delayedNames []string
 
 	errors  atomic.Int64
 	rejects atomic.Int64
@@ -116,10 +136,69 @@ func NewInjector(next http.Handler, p FaultProfile) (*Injector, error) {
 		seed = 1
 	}
 	return &Injector{
-		next:    next,
-		profile: p,
-		rng:     rand.New(rand.NewSource(seed)),
+		next:       next,
+		profile:    p,
+		rng:        rand.New(rand.NewSource(seed)),
+		delayedSet: map[string]bool{},
 	}, nil
+}
+
+// DelayedNames returns the distinct task names that actually received
+// an injected delay, in first-delay order — the ground truth a
+// straggler campaign checks its flagged set against.
+func (in *Injector) DelayedNames() []string {
+	in.delayedMu.Lock()
+	defer in.delayedMu.Unlock()
+	out := make([]string, len(in.delayedNames))
+	copy(out, in.delayedNames)
+	return out
+}
+
+// admitDelay applies the LatencyAfter/LatencyOnce gates to a fired
+// latency draw and records the delayed task name. seq is the request's
+// ordinal from draw; name may be empty when the body carried none.
+func (in *Injector) admitDelay(seq int, name string) bool {
+	p := in.profile
+	if p.LatencyAfter > 0 && seq <= p.LatencyAfter {
+		return false
+	}
+	in.delayedMu.Lock()
+	defer in.delayedMu.Unlock()
+	if p.LatencyOnce {
+		if name == "" || in.delayedSet[name] {
+			return false
+		}
+	}
+	if name != "" && !in.delayedSet[name] {
+		in.delayedSet[name] = true
+		in.delayedNames = append(in.delayedNames, name)
+	}
+	return true
+}
+
+// sniffTaskName peeks the wfbench Request name from a single-task POST
+// body, restoring the body for the wrapped handler.
+func sniffTaskName(r *http.Request) string {
+	if r.Body == nil {
+		return ""
+	}
+	data, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(data))
+	if err != nil {
+		return ""
+	}
+	return taskNameOf(data)
+}
+
+func taskNameOf(body []byte) string {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if json.Unmarshal(body, &req) != nil {
+		return ""
+	}
+	return req.Name
 }
 
 // Profile returns the configured fault profile.
@@ -137,11 +216,16 @@ func (in *Injector) Stats() FaultStats {
 }
 
 // draw samples the per-request fault decisions under one lock hold so
-// concurrent requests see independent, reproducible streams.
-func (in *Injector) draw() (hang, delay, reject, fail bool, extra time.Duration) {
+// concurrent requests see independent, reproducible streams. seq is the
+// request's 1-based ordinal, for the LatencyAfter gate; the rng draw
+// order is identical whether or not the gates are configured, so a
+// profile stays reproducible when LatencyAfter/LatencyOnce are added.
+func (in *Injector) draw() (hang, delay, reject, fail bool, extra time.Duration, seq int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	p := in.profile
+	in.seq++
+	seq = in.seq
 	hang = p.HangRate > 0 && in.rng.Float64() < p.HangRate
 	delay = p.LatencyRate > 0 && in.rng.Float64() < p.LatencyRate
 	reject = p.RejectRate > 0 && in.rng.Float64() < p.RejectRate
@@ -166,7 +250,10 @@ func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		in.serveBatch(w, r)
 		return
 	}
-	hang, delay, reject, fail, extra := in.draw()
+	hang, delay, reject, fail, extra, seq := in.draw()
+	if delay && !hang {
+		delay = in.admitDelay(seq, sniffTaskName(r))
+	}
 	if hang {
 		in.hangs.Add(1)
 		maxHang := in.profile.MaxHang
@@ -231,7 +318,10 @@ func (in *Injector) serveBatch(w http.ResponseWriter, r *http.Request) {
 	var maxDelay time.Duration
 	anyHang := false
 	for i, it := range items {
-		hang, delay, reject, fail, extra := in.draw()
+		hang, delay, reject, fail, extra, seq := in.draw()
+		if delay && !hang && !reject && !fail {
+			delay = in.admitDelay(seq, taskNameOf(it.Body))
+		}
 		switch {
 		case hang:
 			in.hangs.Add(1)

@@ -214,3 +214,106 @@ func TestInjectorDeterministicUnderSameSeed(t *testing.T) {
 		t.Fatal("different seeds produced identical fault sequences")
 	}
 }
+
+func namedReq(name string) *http.Request {
+	body := strings.NewReader(`{"name":"` + name + `"}`)
+	return httptest.NewRequest(http.MethodPost, "/wfbench", body)
+}
+
+// TestInjectorLatencyAfter pins the baseline-first gate: the first N
+// requests pass undelayed even at LatencyRate 1, and the injector
+// remembers which task names it actually delayed.
+func TestInjectorLatencyAfter(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{
+		LatencyRate:  1,
+		Latency:      15 * time.Millisecond,
+		LatencyAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		rec := httptest.NewRecorder()
+		inj.ServeHTTP(rec, namedReq("warm"))
+		if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+			t.Fatalf("request %d delayed by %v inside the LatencyAfter window", i, elapsed)
+		}
+	}
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	inj.ServeHTTP(rec, namedReq("tail"))
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("request 4 served in %v, want the injected delay", elapsed)
+	}
+	if s := inj.Stats(); s.Delays != 1 || s.Passed != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := inj.DelayedNames(); len(got) != 1 || got[0] != "tail" {
+		t.Fatalf("DelayedNames = %v, want [tail]", got)
+	}
+}
+
+// TestInjectorLatencyOnce pins the bad-placement model: a task name is
+// delayed on first sight only, so its retry lands fast.
+func TestInjectorLatencyOnce(t *testing.T) {
+	inj, err := NewInjector(okHandler(), FaultProfile{
+		LatencyRate: 1,
+		Latency:     15 * time.Millisecond,
+		LatencyOnce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func(name string) time.Duration {
+		start := time.Now()
+		rec := httptest.NewRecorder()
+		inj.ServeHTTP(rec, namedReq(name))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+		return time.Since(start)
+	}
+	if d := serve("f001"); d < 15*time.Millisecond {
+		t.Fatalf("first f001 served in %v, want delayed", d)
+	}
+	if d := serve("f001"); d > 10*time.Millisecond {
+		t.Fatalf("second f001 delayed %v, want fast retry path", d)
+	}
+	if d := serve("f002"); d < 15*time.Millisecond {
+		t.Fatalf("first f002 served in %v, want delayed", d)
+	}
+	got := inj.DelayedNames()
+	if len(got) != 2 || got[0] != "f001" || got[1] != "f002" {
+		t.Fatalf("DelayedNames = %v, want [f001 f002] in order", got)
+	}
+}
+
+// TestInjectorGatesPreserveDrawOrder: adding the latency gates must not
+// shift the seeded rng stream — the other fault draws stay identical.
+func TestInjectorGatesPreserveDrawOrder(t *testing.T) {
+	outcomes := func(p FaultProfile) []int {
+		inj, err := NewInjector(okHandler(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var codes []int
+		for i := 0; i < 60; i++ {
+			rec := httptest.NewRecorder()
+			inj.ServeHTTP(rec, namedReq("t"))
+			codes = append(codes, rec.Code)
+		}
+		return codes
+	}
+	base := FaultProfile{ErrorRate: 0.3, RejectRate: 0.2, Seed: 11}
+	gated := base
+	gated.LatencyRate = 0 // gates configured but latency off: stream must match
+	gated.LatencyAfter = 5
+	gated.LatencyOnce = true
+	a, b := outcomes(base), outcomes(gated)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %d vs %d — gates perturbed the rng stream", i, a[i], b[i])
+		}
+	}
+}

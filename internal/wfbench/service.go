@@ -119,8 +119,7 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		s.WriteMetrics(w)
+		obs.ServeMetrics(w, r, s.WriteMetrics)
 	case r.URL.Path == "/invoke-batch" && r.Method == http.MethodPost:
 		s.serveBatch(w, r)
 	case r.URL.Path == "/wfbench" && r.Method == http.MethodPost:

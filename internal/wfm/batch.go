@@ -113,8 +113,20 @@ type batcher struct {
 	maxBytes int
 	linger   time.Duration
 
+	// health feeds batch occupancy into the run's baseline table; nil
+	// when the health plane is off.
+	health *healthState
+
 	mu      sync.Mutex
 	pending map[string]*endpointBatch
+}
+
+// setHealth attaches the run's health plane; nil-safe on both sides so
+// the run loops can call it unconditionally.
+func (b *batcher) setHealth(hs *healthState) {
+	if b != nil {
+		b.health = hs
+	}
 }
 
 // newBatcher returns the run's dispatcher, or nil when batching is off.
@@ -247,6 +259,7 @@ func (b *batcher) close() {
 // unreadable) fails the remaining members as retriable, like a
 // transport error would have.
 func (b *batcher) flush(eb *endpointBatch) {
+	b.health.recordBatch(eb.endpoint, len(eb.ids))
 	segs, total := b.p.batchFrames(eb.ids, eb.tps)
 	req := (&http.Request{
 		Method:        http.MethodPost,

@@ -54,6 +54,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 	}
 	start := time.Now()
 	rs := m.newResilience(start)
+	rs.health = st.health
 	defer func() { res.Breakers = rs.take() }()
 	root, finishTrace := m.startRunTrace(w.Name, res)
 	defer finishTrace()
@@ -94,6 +95,7 @@ func (m *Manager) runDependency(ctx context.Context, w *wfformat.Workflow, csr *
 	// aborts its batch-mates' shared request; closed (runs before cancel)
 	// to flush any linger-window stragglers on every exit path.
 	rs.batch = m.newBatcher(runCtx, p)
+	rs.batch.setHealth(st.health)
 	defer rs.batch.close()
 
 	workers := m.opts.MaxParallel
@@ -265,6 +267,7 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 		}
 	}
 	st.rj.taskStarted(item.id)
+	st.health.taskStarted(task)
 	tr.Start = time.Since(start)
 	tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, item.id, rs, ts)
 	finish()

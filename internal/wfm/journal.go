@@ -382,6 +382,7 @@ type runState struct {
 	rj        *runJournal
 	rec       *recovery
 	memo      *memoState
+	health    *healthState
 	completed atomic.Int64
 	afterDone func(int)
 }
@@ -445,6 +446,7 @@ func (st *runState) seedIDs() []int32 {
 // crash-injection / progress hook with the cumulative in-process
 // completion count.
 func (st *runState) taskDone(id int32, p *invocationPlan, tr *TaskResult) {
+	st.health.taskFinished(p.tasks[id], tr)
 	if tr.Err != nil {
 		st.rj.taskFailed(id, false, tr.Err)
 		return

@@ -38,13 +38,13 @@ type MemoReport struct {
 // once before any dispatch; the drain afterwards costs hit tasks
 // nothing and executed tasks one manifest append each.
 type memoState struct {
-	cache  *memo.Cache
-	drive  sharedfs.Drive
-	hasher sharedfs.Hasher // content-address view of drive; nil if unsupported
-	fps    []wfformat.Hash // by task ID
-	hitSet []bool          // by task ID
-	hitIDs []int32         // ascending
-	misses int
+	cache   *memo.Cache
+	drive   sharedfs.Drive
+	hasher  sharedfs.Hasher // content-address view of drive; nil if unsupported
+	fps     []wfformat.Hash // by task ID
+	hitSet  []bool          // by task ID
+	hitIDs  []int32         // ascending
+	misses  int
 	skipped int64 // bytes of recorded outputs across hits
 
 	mu      sync.Mutex

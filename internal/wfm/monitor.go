@@ -37,6 +37,11 @@ type Monitor struct {
 	memoHits   atomic.Int64 // tasks seeded from the memo cache, never invoked
 	memoMisses atomic.Int64 // tasks probed without a usable cache entry
 
+	stragglers      atomic.Int64 // in-flight attempts currently flagged
+	stragglersTotal atomic.Int64 // attempts ever flagged
+	specRetries     atomic.Int64 // backup attempts dispatched for flagged tasks
+	specWins        atomic.Int64 // flagged tasks whose backup finished first
+
 	latency metrics.Histogram // wall seconds per completed task invocation
 }
 
@@ -103,6 +108,35 @@ func (mo *Monitor) retried() {
 	}
 }
 
+// stragglerFlagged and stragglerResolved maintain the live straggler
+// gauge and its cumulative counter from the health tracker's callbacks.
+func (mo *Monitor) stragglerFlagged() {
+	if mo != nil {
+		mo.stragglers.Add(1)
+		mo.stragglersTotal.Add(1)
+	}
+}
+
+func (mo *Monitor) stragglerResolved() {
+	if mo != nil {
+		mo.stragglers.Add(-1)
+	}
+}
+
+// speculated accounts one backup attempt dispatched for a flagged task;
+// speculationWon the subset whose backup completed first.
+func (mo *Monitor) speculated() {
+	if mo != nil {
+		mo.specRetries.Add(1)
+	}
+}
+
+func (mo *Monitor) speculationWon() {
+	if mo != nil {
+		mo.specWins.Add(1)
+	}
+}
+
 func (mo *Monitor) breakerChanged(from, to string) {
 	if mo == nil {
 		return
@@ -125,17 +159,21 @@ func (mo *Monitor) Latency() *metrics.Histogram {
 
 // Snapshot is a point-in-time view of the monitor's state.
 type Snapshot struct {
-	Workflow   string
-	Scheduling string
-	Total      int64
-	Ready      int64
-	Running    int64
-	Done       int64
-	Failed     int64
-	Retries    int64
-	OpenBreak  int64
-	MemoHits   int64
-	MemoMisses int64
+	Workflow        string
+	Scheduling      string
+	Total           int64
+	Ready           int64
+	Running         int64
+	Done            int64
+	Failed          int64
+	Retries         int64
+	OpenBreak       int64
+	MemoHits        int64
+	MemoMisses      int64
+	Stragglers      int64
+	StragglersTotal int64
+	SpecRetries     int64
+	SpecWins        int64
 }
 
 // Snapshot returns the current progress counters.
@@ -154,12 +192,19 @@ func (mo *Monitor) Snapshot() Snapshot {
 	s.OpenBreak = mo.breakersOpen.Load()
 	s.MemoHits = mo.memoHits.Load()
 	s.MemoMisses = mo.memoMisses.Load()
+	s.Stragglers = mo.stragglers.Load()
+	s.StragglersTotal = mo.stragglersTotal.Load()
+	s.SpecRetries = mo.specRetries.Load()
+	s.SpecWins = mo.specWins.Load()
 	return s
 }
 
 // WriteMetrics writes the monitor's state in Prometheus text exposition
-// format.
+// format. A nil monitor writes nothing.
 func (mo *Monitor) WriteMetrics(w io.Writer) error {
+	if mo == nil {
+		return nil
+	}
 	s := mo.Snapshot()
 	var err error
 	p := func(format string, args ...any) {
@@ -197,11 +242,20 @@ func (mo *Monitor) WriteMetrics(w io.Writer) error {
 	p("# HELP wfm_memo_misses_total Tasks probed without a usable memo-cache entry.\n")
 	p("# TYPE wfm_memo_misses_total counter\n")
 	p("wfm_memo_misses_total %d\n", s.MemoMisses)
+	p("# HELP wfm_stragglers In-flight attempts currently flagged past k x their endpoint's median.\n")
+	p("# TYPE wfm_stragglers gauge\n")
+	p("wfm_stragglers %d\n", s.Stragglers)
+	p("# HELP wfm_stragglers_flagged_total Attempts flagged as stragglers.\n")
+	p("# TYPE wfm_stragglers_flagged_total counter\n")
+	p("wfm_stragglers_flagged_total %d\n", s.StragglersTotal)
+	p("# HELP wfm_speculative_retries_total Backup attempts dispatched for flagged tasks.\n")
+	p("# TYPE wfm_speculative_retries_total counter\n")
+	p("wfm_speculative_retries_total %d\n", s.SpecRetries)
+	p("# HELP wfm_speculative_wins_total Flagged tasks whose backup attempt completed first.\n")
+	p("# TYPE wfm_speculative_wins_total counter\n")
+	p("wfm_speculative_wins_total %d\n", s.SpecWins)
 	if err != nil {
 		return err
 	}
-	if mo != nil {
-		return mo.latency.WriteProm(w, "wfm_invocation_seconds", "Wall time per completed task invocation.")
-	}
-	return nil
+	return mo.latency.WriteProm(w, "wfm_invocation_seconds", "Wall time per completed task invocation.")
 }

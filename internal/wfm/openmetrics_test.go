@@ -1,0 +1,277 @@
+package wfm
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/metrics"
+	"wfserverless/internal/obs"
+	"wfserverless/internal/serverless"
+	"wfserverless/internal/sharedfs"
+)
+
+// checkExposition validates an exposition body against the rules both
+// the classic Prometheus text format and OpenMetrics share: every
+// sample's family declares # HELP and # TYPE before its first sample,
+// histogram le-buckets are cumulative (monotonically non-decreasing,
+// closed by +Inf equal to the family's _count), and sample values
+// parse as floats.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	type bucketSeries struct {
+		les    []float64
+		counts []float64
+	}
+	buckets := map[string]*bucketSeries{} // base family -> le series
+	counts := map[string]float64{}        // base family -> _count value
+
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && (typed[base] || helped[base]) {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || line == "# EOF" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				helped[fields[2]] = true
+			case "TYPE":
+				typed[fields[2]] = true
+			default:
+				t.Fatalf("line %d: unknown comment kind %q", ln+1, line)
+			}
+			continue
+		}
+		// Sample: name[{labels}] value
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		val, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		series := line[:i]
+		name := series
+		var labels string
+		if j := strings.IndexByte(series, '{'); j >= 0 {
+			name, labels = series[:j], series[j:]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("line %d: unclosed label set %q", ln+1, line)
+			}
+		}
+		base := family(name)
+		if !typed[base] || !helped[base] {
+			t.Fatalf("line %d: sample %q before # HELP/# TYPE for %s", ln+1, line, base)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			j := strings.Index(labels, `le="`)
+			if j < 0 {
+				t.Fatalf("line %d: histogram bucket without le label: %q", ln+1, line)
+			}
+			rest := labels[j+len(`le="`):]
+			k := strings.IndexByte(rest, '"')
+			le, err := strconv.ParseFloat(rest[:k], 64)
+			if err != nil {
+				t.Fatalf("line %d: bad le %q: %v", ln+1, rest[:k], err)
+			}
+			bs := buckets[base]
+			if bs == nil {
+				bs = &bucketSeries{}
+				buckets[base] = bs
+			}
+			bs.les = append(bs.les, le)
+			bs.counts = append(bs.counts, val)
+		case strings.HasSuffix(name, "_count") && base != name:
+			counts[base] = val
+		}
+	}
+	fams := make([]string, 0, len(buckets))
+	for f := range buckets {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		bs := buckets[f]
+		for i := 1; i < len(bs.counts); i++ {
+			if bs.les[i] <= bs.les[i-1] {
+				t.Fatalf("%s: le boundaries not increasing at %g", f, bs.les[i])
+			}
+			if bs.counts[i] < bs.counts[i-1] {
+				t.Fatalf("%s: bucket counts not cumulative at le=%g (%g < %g)",
+					f, bs.les[i], bs.counts[i], bs.counts[i-1])
+			}
+		}
+		last := bs.counts[len(bs.counts)-1]
+		if !isInf(bs.les[len(bs.les)-1]) {
+			t.Fatalf("%s: last bucket is not le=+Inf", f)
+		}
+		if c, ok := counts[f]; ok && c != last {
+			t.Fatalf("%s: +Inf bucket %g != _count %g", f, last, c)
+		}
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+// TestExpositionConformance runs every metrics writer in the repo —
+// the manager's Monitor, the in-process platform, and the raw
+// histogram — through the shared conformance checker.
+func TestExpositionConformance(t *testing.T) {
+	t.Run("monitor", func(t *testing.T) {
+		mo := NewMonitor()
+		mo.runStarted("conf", ScheduleDependency, 3)
+		mo.taskReady(3)
+		mo.taskStarted()
+		mo.taskFinished(120*time.Millisecond, false)
+		mo.retried()
+		mo.memoProbed(1, 2)
+		mo.breakerChanged(BreakerClosed, BreakerOpen)
+		mo.stragglerFlagged()
+		mo.speculated()
+		mo.speculationWon()
+		var sb strings.Builder
+		if err := mo.WriteMetrics(&sb); err != nil {
+			t.Fatal(err)
+		}
+		checkExposition(t, sb.String())
+	})
+	t.Run("platform", func(t *testing.T) {
+		p, err := serverless.New(serverless.Options{
+			Cluster: cluster.PaperTestbed(), Drive: sharedfs.NewMem(),
+			TimeScale: 0.002, ColdStart: 0.5, AutoscalePeriod: 0.5,
+			StableWindow: 10, InputWait: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		url, err := p.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Stop()
+		if err := p.Apply(serverless.ServiceConfig{
+			Name: "wfbench", Workers: 2, CPURequestPerWorker: 1, MemRequestPerWorker: 256 << 20,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Scrape through the platform's real HTTP surface so the
+		// negotiated path is the one checked.
+		for _, tc := range []struct {
+			accept string
+			wantCT string
+			wantOM bool
+		}{
+			{"", obs.ContentTypeProm, false},
+			{"application/openmetrics-text;version=1.0.0,text/plain;q=0.5", obs.ContentTypeOpenMetrics, true},
+		} {
+			req, err := http.NewRequest(http.MethodGet, url+"/metrics", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resp.Header.Get("Content-Type"); got != tc.wantCT {
+				t.Fatalf("Accept %q: Content-Type = %q, want %q", tc.accept, got, tc.wantCT)
+			}
+			if hasEOF := strings.HasSuffix(string(body), "# EOF\n"); hasEOF != tc.wantOM {
+				t.Fatalf("Accept %q: EOF terminator = %v, want %v", tc.accept, hasEOF, tc.wantOM)
+			}
+			checkExposition(t, string(body))
+		}
+	})
+	t.Run("histogram", func(t *testing.T) {
+		var h metrics.Histogram
+		for _, v := range []float64{0.0001, 0.001, 0.05, 0.9, 12, 500} {
+			h.Observe(v)
+		}
+		var sb strings.Builder
+		if err := h.WriteProm(&sb, "conf_seconds", "conformance fixture"); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), `le="+Inf"`) {
+			t.Fatalf("histogram missing +Inf bucket:\n%s", sb.String())
+		}
+		checkExposition(t, sb.String())
+	})
+}
+
+// TestTelemetryMuxNegotiation pins the shared mux's version
+// negotiation: an OpenMetrics Accept header switches the content type
+// and appends the mandatory # EOF terminator; everyone else gets the
+// classic 0.0.4 format unterminated.
+func TestTelemetryMuxNegotiation(t *testing.T) {
+	mo := NewMonitor()
+	mo.runStarted("neg", SchedulePhases, 1)
+	srv := httptest.NewServer(obs.TelemetryMux(mo.WriteMetrics))
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := get("")
+	if ct != obs.ContentTypeProm {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if strings.Contains(body, "# EOF") {
+		t.Fatal("classic format must not carry the OpenMetrics terminator")
+	}
+	ct, body = get("application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if ct != obs.ContentTypeOpenMetrics {
+		t.Fatalf("OpenMetrics Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics body not terminated:\n...%s", body[max(0, len(body)-80):])
+	}
+	if strings.Count(body, "# EOF") != 1 {
+		t.Fatal("terminator must appear exactly once")
+	}
+	checkExposition(t, body)
+}

@@ -259,6 +259,9 @@ type resilience struct {
 	// batch is the run's batching dispatcher; nil when Options.Batching
 	// is disabled, keeping the single-task invocation path untouched.
 	batch *batcher
+	// health is the run's health plane; nil when Options.Health is
+	// unset, keeping the attempt path untouched.
+	health *healthState
 
 	mu          sync.Mutex
 	breakers    map[string]*breaker
@@ -293,6 +296,7 @@ func (rs *resilience) addTransition(t BreakerTransition) {
 	rs.transitions = append(rs.transitions, t)
 	rs.mu.Unlock()
 	rs.m.opts.Monitor.breakerChanged(t.From, t.To)
+	rs.health.event("breaker", "", t.Endpoint, 0, t.From+"->"+t.To)
 	if l := rs.m.opts.Logger; l != nil {
 		l.Warn("circuit breaker transition", "endpoint", t.Endpoint,
 			"from", t.From, "to", t.To, "failure_rate", t.FailureRate)

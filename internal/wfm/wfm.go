@@ -207,6 +207,12 @@ type Options struct {
 	// progress hooks; it must be fast and safe for concurrent callers'
 	// view of the count to be monotonic but unordered.
 	AfterTaskDone func(completed int)
+	// Health enables the run-health plane: streaming per-endpoint
+	// latency baselines, straggler detection against each endpoint's
+	// running median (optionally racing a speculative backup attempt),
+	// and a crash flight recorder. Nil disables it; the dispatch hot
+	// path is then allocation-identical to previous releases.
+	Health *HealthOptions
 }
 
 // Manager executes workflows.
@@ -268,6 +274,9 @@ func New(opts Options) (*Manager, error) {
 		return nil, err
 	}
 	if err := opts.Batching.validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Health.validate(); err != nil {
 		return nil, err
 	}
 	return &Manager{opts: opts}, nil
@@ -349,6 +358,10 @@ type Result struct {
 	// Memo summarizes what the memo cache contributed; nil unless
 	// Options.Memoize was set.
 	Memo *MemoReport
+	// Health carries the run-health summary — per-endpoint baselines,
+	// flagged stragglers, speculation accounting; nil unless
+	// Options.Health was set.
+	Health *HealthReport
 	// TraceID identifies the run's distributed trace when the run was
 	// sampled (Options.Tracer set and the root span recorded).
 	TraceID string
@@ -439,6 +452,11 @@ func (m *Manager) prepare(w *wfformat.Workflow) (*dag.CSR, *invocationPlan, erro
 // with a run-end record whose status reflects how the loop exited.
 func (m *Manager) run(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p *invocationPlan, rec *recovery) (*Result, error) {
 	st := &runState{rec: rec, afterDone: m.opts.AfterTaskDone}
+	if m.opts.Health != nil {
+		st.health = m.newHealthState()
+		defer st.health.close()
+		st.health.event("run-start", "", "", 0, w.Name)
+	}
 	if m.opts.Memoize != nil {
 		st.memo = m.probeMemo(csr, p, rec)
 	}
@@ -509,6 +527,17 @@ func (m *Manager) run(ctx context.Context, w *wfformat.Workflow, csr *dag.CSR, p
 		if jerr := st.rj.takeError(); jerr != nil {
 			res.Warnings = append(res.Warnings, fmt.Sprintf("journal: appends failing, run no longer durable: %v", jerr))
 		}
+		res.Health = st.health.report()
+	}
+	if st.health != nil {
+		status := "ok"
+		switch {
+		case ctx.Err() != nil:
+			status = "cancelled"
+		case err != nil:
+			status = "failed"
+		}
+		st.health.event("run-end", "", "", 0, status)
 	}
 	// Flush this run's manifests so the next process's probe sees them;
 	// append errors stay sticky in the cache and were surfaced above.
@@ -656,7 +685,9 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 		res.Tasks[tr.Name] = tr
 	}
 	rs := m.newResilience(start)
+	rs.health = st.health
 	rs.batch = m.newBatcher(ctx, p)
+	rs.batch.setHealth(st.health)
 	defer rs.batch.close()
 	// Breaker transitions belong in the Result on every exit path,
 	// including aborts and cancellations.
@@ -752,6 +783,7 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 				}
 				mon.taskStarted()
 				st.rj.taskStarted(id)
+				st.health.taskStarted(task)
 				tr.Start = time.Since(start)
 				tr.Response, tr.Attempts, tr.Err = m.invoke(ctx, p, id, rs, ts)
 				tr.End = time.Since(start)
@@ -905,15 +937,19 @@ func (m *Manager) invoke(ctx context.Context, p *invocationPlan, id int32, rs *r
 		}
 		if attempt > 0 {
 			m.opts.Monitor.retried()
+			rs.health.event("retry", task.Name, task.Command.APIURL, attempt+1, "")
 		}
 		as := m.opts.Tracer.StartChildOf(parent, "invoke")
 		as.SetInt("attempt", attempt+1)
+		as.SetAttr("endpoint", task.Command.APIURL)
 		if !allowed {
 			resp, err = nil, fmt.Errorf("wfm: %s: %s: %w", task.Name, task.Command.APIURL, ErrCircuitOpen)
 			retriable = true
 			as.SetAttr("breaker", BreakerOpen)
 		} else {
-			if rs.batch != nil {
+			if rs.health != nil {
+				resp, retriable, retryAfter, err = rs.health.attempt(tctx, p, id, rs, attempt, as, parent)
+			} else if rs.batch != nil {
 				resp, retriable, retryAfter, err = rs.batch.invokeOnce(tctx, id, as.Context())
 			} else {
 				resp, retriable, retryAfter, err = m.invokeOnce(tctx, p, id, as.Context())
@@ -923,10 +959,16 @@ func (m *Manager) invoke(ctx context.Context, p *invocationPlan, id int32, rs *r
 			}
 		}
 		if as != nil {
+			if resp != nil && resp.ColdStart {
+				as.SetAttr("cold_start", "true")
+			}
 			if err != nil {
 				as.SetAttr("error", err.Error())
 			}
 			as.Finish()
+		}
+		if err != nil && retryAfter > 0 {
+			rs.health.event("throttle", task.Name, task.Command.APIURL, attempt+1, err.Error())
 		}
 		attempts := attempt + 1
 		if err == nil {
