@@ -8,7 +8,7 @@ BENCHOUT ?= BENCH_pr9.json
 BASELINE ?= BENCH_pr9.json
 REGRESS_PCT ?= 10
 
-.PHONY: all build test tier1 check race race-obs race-durable race-memo race-health health-smoke bench bench-all bench-sched bench-regression vet clean
+.PHONY: all build test tier1 check race race-obs race-durable race-memo race-health race-service health-smoke service-smoke bench bench-all bench-sched bench-regression vet clean
 
 all: tier1
 
@@ -58,6 +58,21 @@ race-memo:
 # the monitor/tracker expositions read concurrently with the hooks.
 race-health:
 	$(GO) test -race ./internal/health/... ./internal/metrics/... ./internal/wfm/...
+
+# race-service is the focused race gate for the multi-run control
+# plane: the fair-share dispatcher grants task slots from every run's
+# worker goroutines while runs start/finish/cancel, the run registry
+# is read by HTTP handlers concurrently with executors, and the shared
+# TaskGate is exactly the cross-manager state wfmd adds on top of wfm.
+race-service:
+	$(GO) test -race ./internal/wfmd/... ./internal/wfm/...
+
+# service-smoke boots the real wfmd binary, submits runs for two
+# tenants over HTTP, kills the daemon mid-run (SIGKILL), restarts it on
+# the same data dir, and asserts every run resumes to success — the
+# end-to-end version of the restart/resume tests.
+service-smoke:
+	./scripts/service_smoke.sh
 
 # health-smoke runs the straggler campaign end to end: injected-tail
 # tasks must all be flagged, speculative retry must cut the makespan by

@@ -7,6 +7,8 @@
 //	analyze -csv results/campaign.csv
 //	analyze -csv results/campaign.csv -figure Figure7 -metric mean_cpu_cores
 //	analyze -trace results/run.trace.json
+//	analyze -journal ./run-journal
+//	analyze -journal /var/lib/wfmd        (wfmd data dir: one table of all runs)
 //	analyze -diff baseline.spans.jsonl current.spans.jsonl
 //	analyze -diff -json old.spans.jsonl.gz new.spans.jsonl.gz
 package main
@@ -27,6 +29,7 @@ import (
 	"wfserverless/internal/metrics"
 	"wfserverless/internal/obs"
 	"wfserverless/internal/wfm"
+	"wfserverless/internal/wfmd"
 )
 
 func main() {
@@ -36,7 +39,7 @@ func main() {
 		metric    = flag.String("metric", "", "metric to render (default: all of "+fmt.Sprint(analysis.Metrics)+")")
 		ganttPath = flag.String("gantt", "", "render an execution trace (from wfm -trace) as a Gantt chart instead")
 		spanPath  = flag.String("trace", "", "summarize a span trace (Chrome trace JSON, span JSONL, or wfm trace JSON) instead")
-		jrnlPath  = flag.String("journal", "", "summarize a durable run journal (directory or segment file from wfm -journal) instead")
+		jrnlPath  = flag.String("journal", "", "summarize a durable run journal (from wfm -journal), or a wfmd data dir as one all-runs table, instead")
 		diffMode  = flag.Bool("diff", false, "compare two span logs: analyze -diff OLD NEW reports per-endpoint latency shifts and critical-path change")
 		jsonOut   = flag.Bool("json", false, "with -diff: emit one machine-readable JSON document instead of text")
 	)
@@ -211,8 +214,14 @@ func readSpanRecordsKind(path string) ([]obs.Record, string, *wfm.Trace, error) 
 // path that explains the makespan.
 // runJournalSummary decodes a durable run journal and prints the
 // post-mortem view: what ran, what completed, how many attempts each
-// task took, and what every crash/resume cycle recovered.
+// task took, and what every crash/resume cycle recovered. Pointed at a
+// wfmd data dir (or its runs/ subdirectory) instead, it prints one
+// table covering every run the service has recorded.
 func runJournalSummary(path string) {
+	if root := wfmd.RunsRoot(path); root != "" {
+		runServiceSummary(root)
+		return
+	}
 	s, err := wfm.ReadRunJournal(path)
 	if err != nil {
 		fatal(err)
@@ -274,6 +283,54 @@ func runJournalSummary(path string) {
 	}
 	if len(s.Ends) == 0 {
 		fmt.Println("run end:      none recorded — the run is in flight or was killed")
+	}
+}
+
+// runServiceSummary renders a wfmd data dir as one table of all runs:
+// terminal runs from their durable result.json, in-flight or
+// interrupted runs from whatever their journal recorded so far.
+func runServiceSummary(root string) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== Service runs: %s ==\n", root)
+	fmt.Printf("%-10s %-12s %-8s %-20s %-11s %7s %9s %6s %8s %10s\n",
+		"run", "tenant", "priority", "workflow", "state", "tasks", "completed", "memo", "retries", "duration_s")
+	shown := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := fmt.Sprintf("%s%c%s", root, os.PathSeparator, e.Name())
+		meta, result, err := wfmd.LoadRun(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: skipping %s: %v\n", dir, err)
+			continue
+		}
+		shown++
+		if result != nil {
+			fmt.Printf("%-10s %-12s %-8s %-20s %-11s %7d %9d %6d %8d %10.2f\n",
+				meta.ID, meta.Tenant, meta.Priority, meta.Workflow, result.State,
+				result.Tasks, result.Completed, result.Memoized, result.Retries, result.WallS)
+			continue
+		}
+		// No terminal marker: the run is in flight, queued, or was cut
+		// down by a daemon crash — report the journal's view.
+		state := "incomplete"
+		completed, memoized := 0, 0
+		if s, err := wfm.ReadRunJournal(dir + string(os.PathSeparator) + "journal"); err == nil {
+			completed = s.CompletedTasks
+			memoized = s.MemoizedTasks
+		} else {
+			state = "queued"
+		}
+		fmt.Printf("%-10s %-12s %-8s %-20s %-11s %7d %9d %6d %8s %10s\n",
+			meta.ID, meta.Tenant, meta.Priority, meta.Workflow, state,
+			meta.Tasks, completed, memoized, "-", "-")
+	}
+	if shown == 0 {
+		fmt.Println("(no runs recorded)")
 	}
 }
 

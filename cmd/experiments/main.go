@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | health | scale | recovery | memo | all")
+		suite     = flag.String("suite", "all", "design | table2 | fig3 | fig4 | fig5 | fig6 | fig7 | concurrent | resilience | health | scale | recovery | memo | service | all")
 		small     = flag.Int("small", 30, "small workflow size")
 		large     = flag.Int("large", 120, "large workflow size")
 		huge      = flag.Int("huge", 300, "huge workflow size (coarse-grained)")
@@ -64,6 +64,11 @@ func main() {
 		memoTasks = flag.Int("memo-tasks", 100_000, "memo suite: synthetic workflow size")
 		memoEdits = flag.Int("memo-edits", 8, "memo suite: tasks perturbed in the k-edit variant")
 		memoize   = flag.Bool("memoize", false, "run the recovery and resilience suites with the content-addressed memo cache enabled")
+
+		// Shape of -suite service.
+		serviceRuns  = flag.Int("service-runs", 6, "service suite: runs per tenant in the fairness phase")
+		serviceTasks = flag.Int("service-tasks", 64, "service suite: tasks per synthetic workflow")
+		serviceSlots = flag.Int("service-slots", 4, "service suite: global in-flight task budget")
 
 		// Shape of -suite scale.
 		scaleTasks    = flag.Int("scale-tasks", 100_000, "scale suite: synthetic workflow size")
@@ -189,6 +194,8 @@ func main() {
 		runRecovery(ctx, *recoveryTasks, *recoveryTrials, *seed, *timeScale, batching, *memoize)
 	case "memo":
 		runMemo(ctx, *memoTasks, *memoEdits, *seed, *timeScale, batching)
+	case "service":
+		runService(ctx, *serviceRuns, *serviceTasks, *serviceSlots)
 	case "scale":
 		runScale(ctx, experiments.ScaleConfig{
 			Tasks:       *scaleTasks,
@@ -319,6 +326,30 @@ func runRecovery(ctx context.Context, tasks, trials int, seed int64, timeScale f
 		fatal(fmt.Errorf("%d of %d recovery trials violated durable-execution invariants", bad, len(ts)))
 	}
 	fmt.Printf("\nAll %d trials converged to the reference drive state with zero duplicate invocations.\n\n", len(ts))
+}
+
+// runService executes the multi-run control plane's acceptance
+// campaign — wfmd driven over HTTP through three phases (fair-share
+// under saturation, honest backpressure, daemon crash + restart) —
+// and fails hard if any gate is violated.
+func runService(ctx context.Context, runs, tasks, slots int) {
+	fmt.Printf("== Service: wfmd control plane, %d runs/tenant x %d tasks, %d task slots ==\n", runs, tasks, slots)
+	rep, err := experiments.Service(ctx, experiments.ServiceConfig{
+		RunsPerTenant: runs,
+		TasksPerRun:   tasks,
+		TaskSlots:     slots,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteServiceReport(os.Stdout, rep); err != nil {
+		fatal(err)
+	}
+	if !rep.Gates() {
+		fatal(fmt.Errorf("service campaign violated its acceptance gates"))
+	}
+	fmt.Println("\nAll service gates held: quotas, fair-share ratio, backpressure, crash recovery.")
+	fmt.Println()
 }
 
 // runConcurrent contrasts serverless vs local containers when several

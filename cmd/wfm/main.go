@@ -31,6 +31,15 @@
 //     execution time, power, CPU, and memory.
 //
 //     wfm -workflow blast.json -paradigm Kn10wNoPM -time-scale 0.01
+//
+//   - Service (-submit): hand the workflow to a long-lived wfmd
+//     instead of executing it in-process. The client honours the
+//     service's backpressure — a 429 with Retry-After is slept on and
+//     the submission retried on the resilience layer's backoff
+//     schedule — then polls the run to completion and prints its
+//     durable result. -detach submits without waiting.
+//
+//     wfm -workflow blast.json -submit http://127.0.0.1:9433 -tenant team-a -priority high
 package main
 
 import (
@@ -56,6 +65,7 @@ import (
 	"wfserverless/internal/sharedfs"
 	"wfserverless/internal/wfformat"
 	"wfserverless/internal/wfm"
+	"wfserverless/internal/wfmd"
 )
 
 func main() {
@@ -99,6 +109,12 @@ func main() {
 		stragglerK = flag.Float64("straggler-factor", 0, "flag tasks older than this multiple of their endpoint's running median (0: 3)")
 		recorder   = flag.String("flight-recorder", "", "dump the run's last moments as JSONL to this file on panic, interrupt, or failure (implies -health)")
 
+		submitURL = flag.String("submit", "", "submit to a wfmd service at this base URL (e.g. http://127.0.0.1:9433) instead of executing locally")
+		tenant    = flag.String("tenant", "", "tenant name for -submit (empty: the service default)")
+		priority  = flag.String("priority", "", "priority class for -submit: low, normal, or high")
+		detach    = flag.Bool("detach", false, "with -submit: print the accepted run ID and exit without waiting")
+		pollSec   = flag.Float64("poll", 0.2, "status poll interval for -submit, wall seconds")
+
 		sample      = flag.Float64("sample", 0, "trace sampling ratio in (0,1]: fraction of workflow roots recorded (0: off unless a trace output is set)")
 		chromeTrace = flag.String("chrome-trace", "", "write spans as Chrome trace-event JSON (load at ui.perfetto.dev or chrome://tracing)")
 		spanLog     = flag.String("span-log", "", "write spans as flat JSONL, one span per line")
@@ -119,6 +135,11 @@ func main() {
 	w, err := wfformat.Load(*workflow)
 	if err != nil {
 		fatal(err)
+	}
+	if *submitURL != "" {
+		runSubmit(*submitURL, *workflow, *tenant, *priority, *detach,
+			*pollSec, *retryBackoff, *retryBackoffMax, *retries)
+		return
 	}
 
 	// Observability plane, shared by both modes. A requested trace
@@ -346,6 +367,72 @@ func main() {
 			os.Exit(130)
 		}
 		fatal(runErr)
+	}
+}
+
+// runSubmit is the service-client mode: post the workflow to wfmd
+// (riding out backpressure via the shared backoff policy), then poll
+// the run to a terminal state and print its durable result. SIGINT
+// stops waiting but leaves the run executing server-side.
+func runSubmit(baseURL, workflowPath, tenant, priority string, detach bool,
+	pollSec, backoff, backoffMax float64, retries int) {
+	raw, err := os.ReadFile(workflowPath)
+	if err != nil {
+		fatal(err)
+	}
+	c := &wfmd.Client{
+		BaseURL:         baseURL,
+		Tenant:          tenant,
+		Priority:        priority,
+		RetryBackoff:    backoff,
+		RetryBackoffMax: backoffMax,
+		MaxRetries:      retries,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := c.Submit(ctx, raw)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("run:       %s (tenant %s, priority %s, %d tasks, %s)\n",
+		st.ID, st.Tenant, st.Priority, st.Tasks, st.State)
+	if detach {
+		fmt.Printf("status:    %s/v1/runs/%s\n", baseURL, st.ID)
+		return
+	}
+	final, err := c.Wait(ctx, st.ID, time.Duration(pollSec*float64(time.Second)))
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "wfm: interrupted; run %s keeps executing server-side\n", st.ID)
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	rr, err := c.Result(ctx, st.ID)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workflow:  %s\n", rr.Workflow)
+	fmt.Printf("state:     %s\n", rr.State)
+	fmt.Printf("tasks:     %d/%d completed\n", rr.Completed, rr.Tasks)
+	if rr.Resumed {
+		fmt.Printf("resume:    continued a prior attempt, %d invocation(s) skipped\n", rr.Recovered)
+	}
+	if rr.Memoized > 0 {
+		fmt.Printf("memoize:   %d hit(s)\n", rr.Memoized)
+	}
+	if rr.Retries > 0 {
+		fmt.Printf("retries:   %d\n", rr.Retries)
+	}
+	fmt.Printf("makespan:  %.2f s (wall %.2f s)\n", rr.MakespanS, rr.WallS)
+	if len(rr.FailedTasks) > 0 {
+		fmt.Printf("FAILED:    %v\n", rr.FailedTasks)
+	}
+	if rr.Error != "" {
+		fmt.Printf("error:     %s\n", rr.Error)
+	}
+	if final.State != wfmd.StateSucceeded {
+		os.Exit(1)
 	}
 }
 

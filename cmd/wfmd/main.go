@@ -1,0 +1,194 @@
+// wfmd is the long-lived workflow service: it accepts workflow JSON
+// over HTTP (POST /v1/runs), executes many concurrent runs against
+// shared backends with per-tenant quotas, weighted fair-share task
+// dispatch and honest backpressure (429 + Retry-After), and persists
+// every run's journal under -data-dir so a restart resumes incomplete
+// runs without duplicating completed work.
+//
+//	wfmd -addr :9433 -data-dir wfmd-data -workdir wfbench-data \
+//	     -tenant team-a:3:8 -tenant team-b:1:4
+//
+// Lifecycle API (see DESIGN.md §12):
+//
+//	POST /v1/runs?tenant=T&priority=high|normal|low   body: workflow JSON
+//	GET  /v1/runs[?tenant=T]
+//	GET  /v1/runs/{id}
+//	POST /v1/runs/{id}/cancel
+//	GET  /v1/runs/{id}/result
+//	GET  /metrics · /healthz · /debug/pprof
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"wfserverless/internal/journal"
+	"wfserverless/internal/sharedfs"
+	"wfserverless/internal/wfm"
+	"wfserverless/internal/wfmd"
+)
+
+func main() {
+	var tenants tenantFlags
+	var (
+		addr    = flag.String("addr", ":9433", "HTTP listen address")
+		dataDir = flag.String("data-dir", "wfmd-data", "service state root: per-run journals, metadata, results")
+		workdir = flag.String("workdir", "wfbench-data", "shared drive directory the workflows' tasks stage files on")
+
+		defaultWeight   = flag.Float64("default-weight", 1, "fair-share weight for tenants not named by -tenant")
+		defaultMaxRuns  = flag.Int("default-max-runs", 4, "concurrent-run quota for tenants not named by -tenant")
+		defaultMaxTasks = flag.Int("default-max-tasks", 0, "in-flight task quota for tenants not named by -tenant (0: uncapped)")
+		queueCap        = flag.Int("queue-capacity", 256, "admitted-but-not-running runs held before submissions get 429")
+		maxActive       = flag.Int("max-active-runs", 64, "simultaneously executing runs across all tenants")
+		taskSlots       = flag.Int("task-slots", 256, "global in-flight task invocation budget shared by all runs")
+		retryAfter      = flag.Float64("retry-after", 1, "Retry-After hint on 429 responses, seconds")
+
+		schedule        = flag.String("schedule", "dependency", "per-run scheduling mode: phases or dependency")
+		timeScale       = flag.Float64("time-scale", 1.0, "nominal-second to wall-second factor")
+		maxPar          = flag.Int("max-parallel", 64, "max simultaneous HTTP invocations per run (the global budget is -task-slots)")
+		retries         = flag.Int("retries", 0, "retry transient invocation failures this many times")
+		retryBackoff    = flag.Float64("retry-backoff", 0, "base retry backoff, nominal seconds")
+		retryBackoffMax = flag.Float64("retry-backoff-max", 0, "backoff ceiling, nominal seconds (0: 30)")
+		taskTimeout     = flag.Float64("task-timeout", 0, "whole-task deadline across attempts, nominal seconds (0: none)")
+		breakerOn       = flag.Bool("breaker", false, "enable the per-endpoint circuit breaker in every run")
+
+		journalSync    = flag.String("journal-sync", "group", "run journal fsync policy: group, always, never")
+		journalGroupMS = flag.Float64("journal-group-ms", 2, "group-commit batching window, wall milliseconds")
+		traceSample    = flag.Float64("trace-sample", 0, "per-run trace sampling ratio in (0,1]; sampled runs write spans.jsonl into their run dir")
+		logLevel       = flag.String("log-level", "info", "structured logging to stderr: debug, info, warn, error, or off")
+	)
+	flag.Var(&tenants, "tenant", "tenant quota spec name:weight[:max-runs[:max-tasks]] (repeatable)")
+	flag.Parse()
+
+	mode, err := wfm.ParseScheduling(*schedule)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := journal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	if *logLevel == "off" {
+		logger = nil
+	} else if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fatal(fmt.Errorf("-log-level: %w", err))
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+
+	drive, err := sharedfs.NewDisk(*workdir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := wfmd.Config{
+		DataDir: *dataDir,
+		Manager: wfm.Options{
+			Drive:           drive,
+			TimeScale:       *timeScale,
+			MaxParallel:     *maxPar,
+			Scheduling:      mode,
+			Retries:         *retries,
+			RetryBackoff:    *retryBackoff,
+			RetryBackoffMax: *retryBackoffMax,
+			TaskTimeout:     *taskTimeout,
+			Breaker:         wfm.BreakerOptions{Enabled: *breakerOn},
+		},
+		Tenants: tenants.configs,
+		DefaultTenant: wfmd.TenantConfig{
+			Weight:            *defaultWeight,
+			MaxConcurrentRuns: *defaultMaxRuns,
+			MaxInFlightTasks:  *defaultMaxTasks,
+		},
+		QueueCapacity:      *queueCap,
+		MaxActiveRuns:      *maxActive,
+		TaskSlots:          *taskSlots,
+		RetryAfter:         *retryAfter,
+		JournalSync:        pol,
+		JournalGroupWindow: time.Duration(*journalGroupMS * float64(time.Millisecond)),
+		TraceSample:        *traceSample,
+		Logger:             logger,
+	}
+	srv, err := wfmd.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("wfmd: serving on %s (data dir %s, %d task slots)\n", *addr, *dataDir, *taskSlots)
+
+	// SIGINT/SIGTERM drain gracefully: the HTTP listener closes, every
+	// running Manager's context is cancelled, journals close clean, and
+	// interrupted runs resume on the next start with the same -data-dir.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("wfmd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(shutCtx)
+		cancel()
+		srv.Stop()
+	}
+}
+
+// tenantFlags parses repeated -tenant name:weight[:max-runs[:max-tasks]].
+type tenantFlags struct {
+	configs []wfmd.TenantConfig
+}
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, len(t.configs))
+	for i, c := range t.configs {
+		parts[i] = fmt.Sprintf("%s:%g:%d:%d", c.Name, c.Weight, c.MaxConcurrentRuns, c.MaxInFlightTasks)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+		return fmt.Errorf("want name:weight[:max-runs[:max-tasks]], got %q", v)
+	}
+	tc := wfmd.TenantConfig{Name: parts[0]}
+	w, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad weight in %q: %w", v, err)
+	}
+	tc.Weight = w
+	if len(parts) > 2 {
+		if tc.MaxConcurrentRuns, err = strconv.Atoi(parts[2]); err != nil {
+			return fmt.Errorf("bad max-runs in %q: %w", v, err)
+		}
+	}
+	if len(parts) > 3 {
+		if tc.MaxInFlightTasks, err = strconv.Atoi(parts[3]); err != nil {
+			return fmt.Errorf("bad max-tasks in %q: %w", v, err)
+		}
+	}
+	t.configs = append(t.configs, tc)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfmd:", err)
+	os.Exit(1)
+}

@@ -287,7 +287,7 @@ func (b *batcher) flush(eb *endpointBatch) {
 		retriable := hres.StatusCode >= 500 || hres.StatusCode == http.StatusTooManyRequests
 		var retryAfter time.Duration
 		if hres.StatusCode == http.StatusTooManyRequests || hres.StatusCode == http.StatusServiceUnavailable {
-			retryAfter = parseRetryAfter(hres.Header.Get("Retry-After"))
+			retryAfter = ParseRetryAfter(hres.Header.Get("Retry-After"))
 		}
 		text := strings.TrimSpace(string(msg))
 		for i, id := range eb.ids {

@@ -1,0 +1,161 @@
+package wfm
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"wfserverless/internal/cluster"
+	"wfserverless/internal/journal"
+	"wfserverless/internal/serverless"
+	"wfserverless/internal/sharedfs"
+)
+
+// TestConcurrentManagersSharedPlatform is the embedding mode wfmd
+// relies on: several independent Manager instances in one process,
+// all dispatching to one in-process serverless platform on one shared
+// drive, each with its own monitor, journal, and breaker state. The
+// assertions pin the isolation contract:
+//
+//   - every run completes with exactly its own tasks;
+//   - monitor counters are per-run (no bleed between managers);
+//   - breaker transitions on one run's misbehaving endpoint never
+//     appear in another run's result;
+//   - each run's journal records only that run's tasks;
+//   - the shared drive holds every run's namespaced outputs.
+func TestConcurrentManagersSharedPlatform(t *testing.T) {
+	drive := sharedfs.NewMem()
+	p, err := serverless.New(serverless.Options{
+		Cluster: cluster.PaperTestbed(), Drive: drive,
+		TimeScale: 0.002, ColdStart: 0.5, AutoscalePeriod: 0.5,
+		StableWindow: 10, InputWait: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Apply(serverless.ServiceConfig{
+		Name: "wfbench", Workers: 8, CPURequestPerWorker: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One extra manager targets an endpoint that always fails, with a
+	// hair-trigger breaker: its transitions must stay in its own run.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer broken.Close()
+
+	const managers = 4
+	const width = 12
+	invoke := url + "/wfbench/wfbench"
+	type outcome struct {
+		res *Result
+		mon *Monitor
+		err error
+	}
+	outs := make([]outcome, managers+1)
+	jdirs := make([]string, managers+1)
+	var wg sync.WaitGroup
+	runOne := func(i int, wfURL string, retries int) {
+		defer wg.Done()
+		w := prefixedFanout(t, fmt.Sprintf("cm%d", i), width, wfURL)
+		mon := NewMonitor()
+		jdirs[i] = filepath.Join(t.TempDir(), "j")
+		j, err := journal.Open(jdirs[i], journal.Options{})
+		if err != nil {
+			outs[i] = outcome{err: err}
+			return
+		}
+		defer j.Close()
+		m, err := New(Options{
+			Drive: drive, TimeScale: 0.002, PhaseDelay: 0.5, InputWait: 5,
+			Scheduling: ScheduleDependency, MaxParallel: 16,
+			Retries: retries, RetryBackoff: 0.05,
+			Breaker: BreakerOptions{Enabled: true, Window: 4, MinSamples: 2, Cooldown: 0.2},
+			Monitor: mon, Journal: j,
+		})
+		if err != nil {
+			outs[i] = outcome{err: err}
+			return
+		}
+		res, err := m.Run(context.Background(), w)
+		outs[i] = outcome{res: res, mon: mon, err: err}
+	}
+	for i := 0; i < managers; i++ {
+		wg.Add(1)
+		go runOne(i, invoke, 2)
+	}
+	wg.Add(1)
+	go runOne(managers, broken.URL, 1)
+	wg.Wait()
+
+	// The healthy runs: complete, isolated counters, clean breakers.
+	for i := 0; i < managers; i++ {
+		o := outs[i]
+		if o.err != nil {
+			t.Fatalf("manager %d: %v", i, o.err)
+		}
+		if len(o.res.Failed) != 0 {
+			t.Fatalf("manager %d failed tasks: %v", i, o.res.Failed)
+		}
+		snap := o.mon.Snapshot()
+		if snap.Done != width+1 || snap.Failed != 0 {
+			t.Fatalf("manager %d monitor done=%d failed=%d, want %d/0 — counters bled across runs?",
+				i, snap.Done, snap.Failed, width+1)
+		}
+		if len(o.res.Breakers) != 0 {
+			t.Fatalf("manager %d saw breaker transitions %v from another run's endpoint", i, o.res.Breakers)
+		}
+	}
+	// The broken run: fails, and it alone records breaker activity.
+	bo := outs[managers]
+	if bo.err == nil {
+		t.Fatal("run against a dead endpoint succeeded")
+	}
+	if bo.res == nil || len(bo.res.Breakers) == 0 {
+		t.Fatal("dead-endpoint run recorded no breaker transitions")
+	}
+	if snap := bo.mon.Snapshot(); snap.Failed == 0 {
+		t.Fatalf("dead-endpoint monitor shows no failures: %+v", snap)
+	}
+
+	// Journals: each holds exactly its run's completions, nobody else's.
+	for i := 0; i < managers; i++ {
+		sum, err := ReadRunJournal(jdirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Header == nil || sum.Header.Workflow != fmt.Sprintf("cm%d", i) {
+			t.Fatalf("journal %d header %+v", i, sum.Header)
+		}
+		if sum.CompletedTasks != width+1 || sum.Header.TaskCount != width+1 {
+			t.Fatalf("journal %d: %d completed of %d, want %d",
+				i, sum.CompletedTasks, sum.Header.TaskCount, width+1)
+		}
+	}
+	// Drive namespaces: every run's outputs are all present.
+	for i := 0; i < managers; i++ {
+		for _, name := range outputNames(fmt.Sprintf("cm%d", i), width) {
+			if !drive.Exists(name) {
+				t.Fatalf("run %d output %s missing from shared drive", i, name)
+			}
+		}
+	}
+}
+
+func outputNames(prefix string, width int) []string {
+	names := []string{"out_" + prefix + "_root"}
+	for i := 0; i < width; i++ {
+		names = append(names, fmt.Sprintf("out_%s_f%03d", prefix, i))
+	}
+	return names
+}

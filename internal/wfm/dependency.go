@@ -266,6 +266,15 @@ func (m *Manager) runTask(ctx context.Context, p *invocationPlan, csr *dag.CSR, 
 			return tr
 		}
 	}
+	if g := m.opts.Gate; g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			tr.Start = time.Since(start)
+			tr.Err = err
+			finish()
+			return tr
+		}
+		defer g.Release()
+	}
 	st.rj.taskStarted(item.id)
 	st.health.taskStarted(task)
 	tr.Start = time.Since(start)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -579,6 +580,11 @@ type JournalSummary struct {
 	CompletedTasks int
 	FailedTasks    int
 	SkippedTasks   int
+	// CompletedIDs lists the distinct completed task IDs, ascending.
+	// Task IDs are the compiled CSR's interned indices — sorted task
+	// name order — so verification harnesses can map them back to
+	// names without the original plan in hand.
+	CompletedIDs []int32
 	// MemoizedTasks is the number of distinct tasks seeded from the
 	// memo cache instead of executing; MemoSkippedBytes sums the output
 	// sizes those hits did not have to recompute. MemoReexecuted counts
@@ -737,6 +743,11 @@ func ReadRunJournal(path string) (*JournalSummary, error) {
 		}
 	}
 	s.CompletedTasks = len(completed)
+	s.CompletedIDs = make([]int32, 0, len(completed))
+	for id := range completed {
+		s.CompletedIDs = append(s.CompletedIDs, id)
+	}
+	slices.Sort(s.CompletedIDs)
 	s.FailedTasks = len(failed)
 	s.MemoizedTasks = len(memoized)
 	for id := range memoized {

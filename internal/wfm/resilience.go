@@ -317,14 +317,24 @@ func (rs *resilience) take() []BreakerTransition {
 // [0, min(cap, base·2^attempt)] — unless the server supplied an
 // explicit Retry-After, which is honoured directly (still capped).
 func (m *Manager) retryDelay(attempt int, retryAfter time.Duration) time.Duration {
-	ceiling := m.backoffCap()
+	return BackoffDelay(attempt, m.scaled(m.opts.RetryBackoff), m.backoffCap(), retryAfter)
+}
+
+// BackoffDelay is the backoff schedule the resilience layer sleeps on
+// between attempts, exported so HTTP clients of this repo's services
+// (wfmd submission, 429 + Retry-After) can reuse the exact policy:
+// full-jitter exponential backoff — uniform in
+// [0, min(ceiling, base·2^attempt)] — unless retryAfter is positive, in
+// which case the server's hint is honoured directly (still capped by
+// ceiling). A non-positive base disables the schedule (returns 0)
+// except when retryAfter is given.
+func BackoffDelay(attempt int, base, ceiling, retryAfter time.Duration) time.Duration {
 	if retryAfter > 0 {
 		if ceiling > 0 && retryAfter > ceiling {
 			return ceiling
 		}
 		return retryAfter
 	}
-	base := m.scaled(m.opts.RetryBackoff)
 	if base <= 0 {
 		return 0
 	}
@@ -354,10 +364,10 @@ func (m *Manager) backoffCap() time.Duration {
 	return m.scaled(max)
 }
 
-// parseRetryAfter reads a Retry-After header value as (possibly
+// ParseRetryAfter reads a Retry-After header value as (possibly
 // fractional) seconds. HTTP-date forms and garbage return 0, leaving
 // the backoff schedule in charge.
-func parseRetryAfter(v string) time.Duration {
+func ParseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}

@@ -86,8 +86,8 @@ func TestParseRetryAfter(t *testing.T) {
 		"-1":                   0,
 		"Wed, 21 Oct 2015 ...": 0, // HTTP-date form unsupported: fall back to backoff
 	} {
-		if got := parseRetryAfter(in); got != want {
-			t.Fatalf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		if got := ParseRetryAfter(in); got != want {
+			t.Fatalf("ParseRetryAfter(%q) = %v, want %v", in, got, want)
 		}
 	}
 }

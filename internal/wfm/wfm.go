@@ -213,6 +213,25 @@ type Options struct {
 	// and a crash flight recorder. Nil disables it; the dispatch hot
 	// path is then allocation-identical to previous releases.
 	Health *HealthOptions
+	// Gate, when set, is acquired around every task invocation (once
+	// per task, not per attempt, so retries and batching compose). It
+	// is how an embedding service — wfmd's fair-share admission layer —
+	// throttles many concurrent Managers against a shared invocation
+	// budget without the Managers knowing about each other. Acquire
+	// blocking simply delays the task's dispatch; an Acquire error
+	// (only expected when ctx is cancelled) fails the task like any
+	// other pre-dispatch cancellation. Nil disables the gate; the hot
+	// path is identical.
+	Gate TaskGate
+}
+
+// TaskGate admits task invocations. Implementations must be safe for
+// concurrent use; Release is called exactly once per successful
+// Acquire. Acquire should return promptly with ctx.Err() once ctx is
+// cancelled, and should not fail for any other reason.
+type TaskGate interface {
+	Acquire(ctx context.Context) error
+	Release()
 }
 
 // Manager executes workflows.
@@ -776,6 +795,18 @@ func (m *Manager) runPhases(ctx context.Context, w *wfformat.Workflow, csr *dag.
 				tr.Category = task.Category
 				tr.Phase = pi + 1
 				tr.Ready = ready
+				if g := m.opts.Gate; g != nil {
+					if err := g.Acquire(ctx); err != nil {
+						mon.taskStarted()
+						tr.Start = time.Since(start)
+						tr.End = tr.Start
+						tr.Err = err
+						st.taskDone(id, p, tr)
+						mon.taskFinished(0, true)
+						return
+					}
+					defer g.Release()
+				}
 				ts := m.opts.Tracer.StartChildOf(root, task.Name)
 				ts.SetStart(start.Add(ready))
 				if st.memo != nil {
@@ -1047,7 +1078,7 @@ func (m *Manager) invokeOnce(ctx context.Context, p *invocationPlan, id int32, s
 		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 1024))
 		retriable = hres.StatusCode >= 500 || hres.StatusCode == http.StatusTooManyRequests
 		if hres.StatusCode == http.StatusTooManyRequests || hres.StatusCode == http.StatusServiceUnavailable {
-			retryAfter = parseRetryAfter(hres.Header.Get("Retry-After"))
+			retryAfter = ParseRetryAfter(hres.Header.Get("Retry-After"))
 		}
 		return nil, retriable, retryAfter,
 			fmt.Errorf("wfm: %s: HTTP %d: %s", task.Name, hres.StatusCode, strings.TrimSpace(string(msg)))

@@ -1,0 +1,243 @@
+// Client is the Go face of the service API, used by `wfm -submit`,
+// the service experiments campaign, and anything else that wants
+// submit-and-wait semantics. Backpressure handling reuses the wfm
+// resilience layer's policy verbatim: a 429/503 with Retry-After is
+// slept on (wfm.ParseRetryAfter), anything else backs off with
+// full-jitter exponential delays (wfm.BackoffDelay).
+package wfmd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"wfserverless/internal/wfm"
+)
+
+// Client talks to a running wfmd.
+type Client struct {
+	// BaseURL is the service root, e.g. http://127.0.0.1:9433.
+	BaseURL string
+	// Tenant and Priority are attached to every submission.
+	Tenant   string
+	Priority string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// RetryBackoff/RetryBackoffMax shape the backoff between rejected
+	// submissions, in seconds (defaults 0.5 and 30) — same meaning as
+	// wfm.Options. MaxRetries bounds backpressure retries per
+	// submission (default 60; 429s without progress beyond that fail).
+	RetryBackoff    float64
+	RetryBackoffMax float64
+	MaxRetries      int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) base() string { return strings.TrimRight(c.BaseURL, "/") }
+
+func (c *Client) submitURL() string {
+	u := c.base() + "/v1/runs"
+	q := url.Values{}
+	if c.Tenant != "" {
+		q.Set("tenant", c.Tenant)
+	}
+	if c.Priority != "" {
+		q.Set("priority", c.Priority)
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// apiError is a non-2xx response decoded far enough to report.
+type apiError struct {
+	Status int
+	Body   string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("wfmd: server returned %d: %s", e.Status, strings.TrimSpace(e.Body))
+}
+
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return &apiError{Status: resp.StatusCode, Body: eb.Error}
+		}
+		return &apiError{Status: resp.StatusCode, Body: string(body)}
+	}
+	return json.Unmarshal(body, v)
+}
+
+// SubmitOnce posts a workflow without retrying; backpressure surfaces
+// as (*apiError)(429) with retryAfter parsed from the response.
+func (c *Client) submitOnce(ctx context.Context, workflow []byte) (*RunStatus, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.submitURL(), bytes.NewReader(workflow))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	retryAfter := wfm.ParseRetryAfter(resp.Header.Get("Retry-After"))
+	var st RunStatus
+	if err := decodeInto(resp, &st); err != nil {
+		return nil, retryAfter, err
+	}
+	return &st, 0, nil
+}
+
+// Submit posts a workflow, honouring backpressure: 429/503 responses
+// are retried on the resilience layer's backoff schedule (Retry-After
+// wins when the server sends one) until accepted or MaxRetries spent.
+func (c *Client) Submit(ctx context.Context, workflow []byte) (*RunStatus, error) {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 0.5
+	}
+	ceil := c.RetryBackoffMax
+	if ceil <= 0 {
+		ceil = 30
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 60
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		st, retryAfter, err := c.submitOnce(ctx, workflow)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		var ae *apiError
+		if !asAPIError(err, &ae) || (ae.Status != http.StatusTooManyRequests && ae.Status != http.StatusServiceUnavailable) {
+			return nil, err
+		}
+		delay := wfm.BackoffDelay(attempt,
+			time.Duration(base*float64(time.Second)),
+			time.Duration(ceil*float64(time.Second)),
+			retryAfter)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return nil, fmt.Errorf("wfmd: submission still rejected after %d retries: %w", retries, lastErr)
+}
+
+func asAPIError(err error, target **apiError) bool {
+	ae, ok := err.(*apiError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}
+
+// Status fetches one run's live status.
+func (c *Client) Status(ctx context.Context, id string) (*RunStatus, error) {
+	var st RunStatus
+	if err := c.get(ctx, "/v1/runs/"+url.PathEscape(id), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every run's status, optionally filtered by the client's
+// tenant when mine is true.
+func (c *Client) List(ctx context.Context, mine bool) ([]*RunStatus, error) {
+	path := "/v1/runs"
+	if mine && c.Tenant != "" {
+		path += "?tenant=" + url.QueryEscape(c.Tenant)
+	}
+	var out []*RunStatus
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel requests cancellation of a run.
+func (c *Client) Cancel(ctx context.Context, id string) (*RunStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base()+"/v1/runs/"+url.PathEscape(id)+"/cancel", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var st RunStatus
+	if err := decodeInto(resp, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a terminal run's durable result.
+func (c *Client) Result(ctx context.Context, id string) (*RunResult, error) {
+	var rr RunResult
+	if err := c.get(ctx, "/v1/runs/"+url.PathEscape(id)+"/result", &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// Wait polls a run's status every poll (default 200ms) until it is
+// terminal, then returns the final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*RunStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if IsTerminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeInto(resp, v)
+}
